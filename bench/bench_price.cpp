@@ -1,0 +1,71 @@
+// bench_price — Tables 1 and 2 and the price/performance + GRAPE
+// comparisons of the paper's conclusion.
+//
+// Paper rows: Table 1 Loki total $51,379; Table 2 spot prices giving a $28k
+// system; $58/Mflop (Loki production), $47/Mflop (SC'96), ~21 Gflops/M$;
+// "our treecode on the Intel Teraflops system is equivalent to special
+// purpose hardware running an N^2 algorithm at ... 25 Exaflops".
+#include <cstdio>
+
+#include "machine/prices.hpp"
+#include "simnet/machine.hpp"
+#include "util/counters.hpp"
+#include "util/table.hpp"
+
+using namespace hotlib;
+
+int main() {
+  std::printf("=== Tables 1-2 + price/performance + GRAPE equivalence ===\n\n");
+
+  // Table 1 / Table 2 totals.
+  TextTable totals({"table", "computed total", "paper"});
+  totals.add_row({"Table 1: Loki (Sept 1996)",
+                  "$" + TextTable::num(machine::total_price(machine::loki_parts_sept1996()), 0),
+                  "$51,379"});
+  totals.add_row({"Table 2 system: 16 procs at Aug-1997 spot prices",
+                  "$" + TextTable::num(machine::total_price(machine::system_aug1997()), 0),
+                  "~$28k"});
+  std::printf("%s\n", totals.to_string().c_str());
+
+  // Price/performance ladder.
+  TextTable pp({"system", "sustained", "$/Mflop", "Gflops/M$", "paper"});
+  auto row = [&](const char* name, double cost, double flops, const char* paper) {
+    pp.add_row({name, TextTable::num(flops / 1e6, 0) + " Mflops",
+                TextTable::num(machine::dollars_per_mflop(cost, flops), 1),
+                TextTable::num(machine::gflops_per_million_dollars(cost, flops), 1),
+                paper});
+  };
+  row("Loki production run", 51379, 879e6, "$58/Mflop");
+  row("SC'96 joined cluster", 103000, 2.19e9, "$47/Mflop, 21 Gflops/M$");
+  const double aug97 = machine::total_price(machine::system_aug1997());
+  row("Aug-1997 rebuild (projected)", aug97, 1.19e9, "~2x better");
+  std::printf("Price/performance:\n%s\n", pp.to_string().c_str());
+
+  // GRAPE / Exaflops equivalence: what N^2 rate would match the treecode's
+  // particles-per-second on the 322M-body problem?
+  const auto red = simnet::asci_red_april97();
+  const auto tree = simnet::project_tree_run(red, 322e6, 5, 4459.0, false);
+  const double tree_pps = simnet::particles_per_second(tree, 322e6, 5);
+  // An N^2 device updating `tree_pps` particles/s at N=322e6 must evaluate
+  // tree_pps * N interactions/s at 38 flops each.
+  const double equivalent_flops = tree_pps * 322e6 * kFlopsPerGravityInteraction;
+  const double grape_pps =
+      simnet::grape_particles_per_second(simnet::grape4_like(), 322e6);
+
+  TextTable grape({"quantity", "modelled", "paper"});
+  grape.add_row({"treecode particles/s (3400 nodes)",
+                 TextTable::num(tree_pps / 1e6, 1) + " M/s", "3 M/s"});
+  // The paper states "25 million Gigaflops, or 25 Exaflops" — 25e6 Gflops is
+  // actually 25 Petaflops; we report Pflops and flag the unit slip.
+  grape.add_row({"N^2-equivalent special-purpose rate",
+                 TextTable::num(equivalent_flops / 1e15, 0) + " Pflops",
+                 "25e6 Gflops (text: '25 Exaflops')"});
+  grape.add_row({"GRAPE-4-like device on same problem",
+                 TextTable::num(grape_pps, 0) + " particles/s", "(1e5 x slower)"});
+  std::printf("GRAPE / algorithm-equivalence (the paper's closing argument):\n%s\n",
+              grape.to_string().c_str());
+  std::printf(
+      "\"We make this point in order to firmly emphasize the advantages of a\n"
+      " good algorithm.\" — the treecode's advantage is algorithmic, not Gflops.\n");
+  return 0;
+}

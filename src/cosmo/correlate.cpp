@@ -1,0 +1,46 @@
+#include "cosmo/correlate.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hotlib::cosmo {
+
+std::vector<CorrelationBin> two_point_correlation(const hot::Bodies& b,
+                                                  const hot::Tree& tree, double box,
+                                                  double r_min, double r_max,
+                                                  int bins) {
+  std::vector<CorrelationBin> out(static_cast<std::size_t>(bins));
+  const double lr0 = std::log(r_min), lr1 = std::log(r_max);
+  for (int k = 0; k < bins; ++k) {
+    out[static_cast<std::size_t>(k)].r_lo = std::exp(lr0 + (lr1 - lr0) * k / bins);
+    out[static_cast<std::size_t>(k)].r_hi =
+        std::exp(lr0 + (lr1 - lr0) * (k + 1) / bins);
+  }
+
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    tree.find_within(b.pos[i], r_max, cand);
+    for (std::uint32_t j : cand) {
+      if (j <= i) continue;  // each pair once
+      const double r = norm(b.pos[i] - b.pos[j]);
+      if (r < r_min || r >= r_max) continue;
+      const int k = static_cast<int>((std::log(r) - lr0) / (lr1 - lr0) * bins);
+      if (k >= 0 && k < bins) ++out[static_cast<std::size_t>(k)].pairs;
+    }
+  }
+
+  // Natural estimator: xi = DD / RR - 1 with RR from the analytic expected
+  // pair count of a uniform distribution in the box (edge effects ignored;
+  // keep r_max << box).
+  const double n = static_cast<double>(b.size());
+  const double density = n / (box * box * box);
+  for (auto& bin : out) {
+    const double shell = 4.0 / 3.0 * std::numbers::pi *
+                         (bin.r_hi * bin.r_hi * bin.r_hi - bin.r_lo * bin.r_lo * bin.r_lo);
+    const double rr = 0.5 * n * density * shell;  // expected unordered pairs
+    bin.xi = rr > 0 ? static_cast<double>(bin.pairs) / rr - 1.0 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace hotlib::cosmo

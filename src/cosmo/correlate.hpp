@@ -1,0 +1,32 @@
+// correlate.hpp — two-point correlation statistics.
+//
+// The science the paper's simulations exist for: "galaxy catalogs will soon
+// be available which contain the positions and redshifts of a million or
+// more galaxies" — the standard comparison statistic is the two-point
+// correlation function xi(r): the excess pair probability over a uniform
+// distribution. Pairs are counted with the oct-tree's neighbour search, so
+// the estimator stays near O(N) for the short separations of interest.
+#pragma once
+
+#include <vector>
+
+#include "hot/bodies.hpp"
+#include "hot/tree.hpp"
+
+namespace hotlib::cosmo {
+
+struct CorrelationBin {
+  double r_lo = 0, r_hi = 0;
+  std::uint64_t pairs = 0;   // data-data pair count DD(r)
+  double xi = 0;             // natural estimator DD/RR - 1
+};
+
+// xi(r) in logarithmic bins between r_min and r_max inside a cubical volume
+// of side `box` (positions assumed inside; no periodic wrap). Uniform RR is
+// computed analytically from the shell volumes (good away from edges).
+std::vector<CorrelationBin> two_point_correlation(const hot::Bodies& b,
+                                                  const hot::Tree& tree, double box,
+                                                  double r_min, double r_max,
+                                                  int bins);
+
+}  // namespace hotlib::cosmo

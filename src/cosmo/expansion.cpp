@@ -1,0 +1,29 @@
+#include "cosmo/expansion.hpp"
+
+#include <cmath>
+
+namespace hotlib::cosmo {
+
+double EdsCosmology::a_of_t(double t) const {
+  return std::pow(1.5 * h0_ * t, 2.0 / 3.0);
+}
+
+double EdsCosmology::t_of_a(double a) const {
+  return std::pow(a, 1.5) * 2.0 / (3.0 * h0_);
+}
+
+double EdsCosmology::hubble_of_a(double a) const { return h0_ * std::pow(a, -1.5); }
+
+double EdsCosmology::kick_factor(double t1, double t2) const {
+  // int dt (3 H0 t / 2)^{-2/3} = 3 c (t2^{1/3} - t1^{1/3}), c = (1.5 H0)^{-2/3}.
+  const double c = std::pow(1.5 * h0_, -2.0 / 3.0);
+  return 3.0 * c * (std::cbrt(t2) - std::cbrt(t1));
+}
+
+double EdsCosmology::drift_factor(double t1, double t2) const {
+  // int dt (3 H0 t / 2)^{-4/3} = 3 c^2 (t1^{-1/3} - t2^{-1/3}).
+  const double c = std::pow(1.5 * h0_, -2.0 / 3.0);
+  return 3.0 * c * c * (1.0 / std::cbrt(t1) - 1.0 / std::cbrt(t2));
+}
+
+}  // namespace hotlib::cosmo

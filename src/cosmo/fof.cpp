@@ -1,0 +1,84 @@
+#include "cosmo/fof.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hotlib::cosmo {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+FofResult friends_of_friends(const hot::Bodies& b, const hot::Tree& tree,
+                             double linking_length, std::size_t min_members) {
+  const std::size_t n = b.size();
+  UnionFind uf(n);
+  const double ll2 = linking_length * linking_length;
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.find_within(b.pos[i], linking_length, cand);
+    for (std::uint32_t j : cand) {
+      if (j <= i) continue;
+      if (norm2(b.pos[i] - b.pos[j]) <= ll2)
+        uf.unite(static_cast<std::uint32_t>(i), j);
+    }
+  }
+
+  FofResult result;
+  result.group_of.resize(n);
+  std::vector<std::uint32_t> root_to_dense;
+  std::vector<std::uint32_t> dense(n, 0xFFFFFFFFu);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = uf.find(static_cast<std::uint32_t>(i));
+    if (dense[r] == 0xFFFFFFFFu) {
+      dense[r] = static_cast<std::uint32_t>(root_to_dense.size());
+      root_to_dense.push_back(r);
+    }
+    result.group_of[i] = dense[r];
+  }
+
+  // Accumulate group properties.
+  std::vector<Halo> groups(root_to_dense.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Halo& g = groups[result.group_of[i]];
+    g.size += 1;
+    g.mass += b.mass[i];
+    g.center += b.mass[i] * b.pos[i];
+  }
+  for (auto& g : groups)
+    if (g.mass > 0) g.center /= g.mass;
+  for (std::size_t i = 0; i < n; ++i) {
+    Halo& g = groups[result.group_of[i]];
+    g.radius = std::max(g.radius, norm(b.pos[i] - g.center));
+  }
+
+  for (const Halo& g : groups)
+    if (g.size >= min_members) result.halos.push_back(g);
+  std::sort(result.halos.begin(), result.halos.end(),
+            [](const Halo& a, const Halo& c) { return a.size > c.size; });
+  return result;
+}
+
+}  // namespace hotlib::cosmo

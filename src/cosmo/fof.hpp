@@ -1,0 +1,34 @@
+// fof.hpp — friends-of-friends halo finder.
+//
+// "Our ability to identify galaxies which can be compared to observational
+// results requires that each galaxy contain hundreds or thousands of
+// particles." The standard tool is friends-of-friends: particles closer
+// than a linking length belong to the same group; groups above a minimum
+// size are dark-matter halos. Candidate pairs come from the oct-tree's
+// neighbour search, so the cost is near-linear in N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hot/bodies.hpp"
+#include "hot/tree.hpp"
+
+namespace hotlib::cosmo {
+
+struct Halo {
+  std::size_t size = 0;
+  double mass = 0.0;
+  Vec3d center{};      // center of mass
+  double radius = 0.0; // max member distance from center
+};
+
+struct FofResult {
+  std::vector<std::uint32_t> group_of;  // group id per body (dense ids)
+  std::vector<Halo> halos;              // groups with >= min_members, largest first
+};
+
+FofResult friends_of_friends(const hot::Bodies& b, const hot::Tree& tree,
+                             double linking_length, std::size_t min_members = 10);
+
+}  // namespace hotlib::cosmo

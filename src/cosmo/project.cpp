@@ -1,0 +1,26 @@
+#include "cosmo/project.hpp"
+
+#include <cmath>
+
+namespace hotlib::cosmo {
+
+void project_density(const hot::Bodies& b, int axis, double lo, double extent,
+                     PgmImage& img) {
+  const int u_axis = (axis + 1) % 3;
+  const int v_axis = (axis + 2) % 3;
+  const double su = static_cast<double>(img.width()) / extent;
+  const double sv = static_cast<double>(img.height()) / extent;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double u = (b.pos[i][static_cast<std::size_t>(u_axis)] - lo) * su;
+    const double v = (b.pos[i][static_cast<std::size_t>(v_axis)] - lo) * sv;
+    if (u < 0 || v < 0) continue;
+    img.deposit(static_cast<std::size_t>(u), static_cast<std::size_t>(v), b.mass[i]);
+  }
+}
+
+void add_hubble_flow(hot::Bodies& b, const Vec3d& center, double hubble) {
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b.vel[i] += hubble * (b.pos[i] - center);
+}
+
+}  // namespace hotlib::cosmo

@@ -1,0 +1,20 @@
+// project.hpp — projected-density imaging (Figures 1 and 2 of the paper:
+// "the color of each pixel represents the logarithm of the projected
+// particle density along the line of sight").
+#pragma once
+
+#include "hot/bodies.hpp"
+#include "util/pgm.hpp"
+
+namespace hotlib::cosmo {
+
+// Deposit mass-weighted columns along `axis` (0=x,1=y,2=z) into `img`,
+// mapping the square [lo, lo+extent)^2 of the two remaining coordinates onto
+// the full image.
+void project_density(const hot::Bodies& b, int axis, double lo, double extent,
+                     PgmImage& img);
+
+// Hubble-flow helper for the spherical-region runs: v += H * (x - center).
+void add_hubble_flow(hot::Bodies& b, const Vec3d& center, double hubble);
+
+}  // namespace hotlib::cosmo

@@ -1,0 +1,77 @@
+// simulation.hpp — the high-level cosmology N-body driver: the public API a
+// downstream user calls to run the paper's style of simulation (spherical
+// region, Hubble flow, parallel treecode, striped snapshots, projected-
+// density images). Used by examples/cosmo_sim and bench_loki/bench_treecode.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cosmo/ics.hpp"
+#include "gravity/parallel.hpp"
+#include "hot/bodies.hpp"
+#include "parc/rank.hpp"
+#include "util/counters.hpp"
+
+namespace hotlib::cosmo {
+
+struct SimConfig {
+  IcsConfig ics{};
+  double hubble = 0.05;            // initial Hubble rate (code units)
+  double dt = 0.5;                 // leapfrog step
+  double softening_frac = 0.02;    // softening as fraction of box
+  hot::Mac mac{.theta = 0.35};
+  double G = 1.0;
+  bool spherical_region = true;    // paper-style sphere+buffer vs full cube
+  // Force pipeline: LET push (default) or the paper's ABM request-driven
+  // traversal (see hot/dtree.hpp and bench_abm for the trade-off).
+  bool use_abm = false;
+};
+
+struct StepStats {
+  InteractionTally tally;          // global (allreduced) interactions
+  double imbalance = 1.0;          // decomposition work imbalance
+  std::size_t let_cells = 0;
+  std::size_t let_bodies = 0;
+  double kinetic = 0.0;            // global energies
+  double potential = 0.0;
+};
+
+// One rank's share of a cosmology simulation. Construct inside a parc body;
+// every rank constructs with identical config (the ICs are generated
+// deterministically and each rank keeps its strided share).
+class CosmologySim {
+ public:
+  CosmologySim(parc::Rank& rank, const SimConfig& cfg);
+
+  // Kick-drift-kick step with a fresh force computation; returns global
+  // statistics (identical on every rank).
+  StepStats step();
+
+  // Forces only (used by benchmarks that measure a single evaluation).
+  StepStats compute_forces();
+
+  const hot::Bodies& local() const { return bodies_; }
+  hot::Bodies& local() { return bodies_; }
+  const morton::Domain& domain() const { return domain_; }
+  double time() const { return time_; }
+  std::uint64_t total_bodies() const { return total_bodies_; }
+
+  // Gather all bodies to rank 0 (returns empty elsewhere) — for imaging and
+  // snapshotting at laptop scale.
+  hot::Bodies gather_all() const;
+
+ private:
+  StepStats forces_internal();
+
+  parc::Rank& rank_;
+  SimConfig cfg_;
+  morton::Domain domain_;
+  hot::Bodies bodies_;
+  gravity::TreeForceConfig force_cfg_;
+  double time_ = 0.0;
+  bool have_forces_ = false;
+  std::uint64_t total_bodies_ = 0;
+};
+
+}  // namespace hotlib::cosmo

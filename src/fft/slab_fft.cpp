@@ -1,0 +1,89 @@
+#include "fft/slab_fft.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hotlib::fft {
+
+SlabFft3D::SlabFft3D(parc::Rank& rank, int n) : rank_(rank), n_(n) {
+  if (!is_pow2(static_cast<std::size_t>(n)))
+    throw std::invalid_argument("SlabFft3D: n must be a power of two");
+  if (n % rank.size() != 0)
+    throw std::invalid_argument("SlabFft3D: n must be divisible by rank count");
+  planes_ = n / rank.size();
+}
+
+void SlabFft3D::local_lines_fft(std::vector<Complex>& slab, Direction dir) {
+  for (int p = 0; p < planes_; ++p)
+    for (int y = 0; y < n_; ++y)
+      fft(std::span<Complex>(&slab[(static_cast<std::size_t>(p) * n_ + y) * n_],
+                             static_cast<std::size_t>(n_)),
+          dir);
+}
+
+void SlabFft3D::local_middle_fft(std::vector<Complex>& slab, Direction dir) {
+  std::vector<Complex> line(static_cast<std::size_t>(n_));
+  for (int p = 0; p < planes_; ++p) {
+    Complex* plane = &slab[static_cast<std::size_t>(p) * n_ * n_];
+    for (int x = 0; x < n_; ++x) {
+      for (int m = 0; m < n_; ++m) line[static_cast<std::size_t>(m)] = plane[m * n_ + x];
+      fft(std::span<Complex>(line.data(), static_cast<std::size_t>(n_)), dir);
+      for (int m = 0; m < n_; ++m) plane[m * n_ + x] = line[static_cast<std::size_t>(m)];
+    }
+  }
+}
+
+std::vector<Complex> SlabFft3D::global_transpose(const std::vector<Complex>& slab) {
+  const int p = rank_.size();
+  const int chunk = n_ / p;  // middle-axis rows per destination rank
+  // Pack: destination rank d receives, for each of our local planes `a` and
+  // each middle index b in its chunk, the contiguous x-line.
+  std::vector<std::vector<Complex>> out(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    auto& buf = out[static_cast<std::size_t>(d)];
+    buf.reserve(static_cast<std::size_t>(planes_) * chunk * n_);
+    for (int a = 0; a < planes_; ++a)
+      for (int b = d * chunk; b < (d + 1) * chunk; ++b) {
+        const Complex* line = &slab[(static_cast<std::size_t>(a) * n_ + b) * n_];
+        buf.insert(buf.end(), line, line + n_);
+      }
+  }
+  auto in = rank_.alltoallv_typed<Complex>(out);
+
+  // Unpack into B[bl][a_global][x].
+  std::vector<Complex> result(local_size());
+  for (int src = 0; src < p; ++src) {
+    const auto& buf = in[static_cast<std::size_t>(src)];
+    assert(buf.size() == static_cast<std::size_t>(planes_) * chunk * n_);
+    std::size_t pos = 0;
+    for (int a_local = 0; a_local < planes_; ++a_local) {
+      const int a_global = src * planes_ + a_local;
+      for (int bl = 0; bl < chunk; ++bl) {
+        Complex* dst = &result[(static_cast<std::size_t>(bl) * n_ + a_global) * n_];
+        std::copy_n(buf.data() + pos, n_, dst);
+        pos += static_cast<std::size_t>(n_);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Complex> SlabFft3D::forward(std::vector<Complex> slab) {
+  assert(slab.size() == local_size());
+  local_lines_fft(slab, Direction::Forward);   // x
+  local_middle_fft(slab, Direction::Forward);  // y
+  slab = global_transpose(slab);               // -> [yl][z][x]
+  local_middle_fft(slab, Direction::Forward);  // z (now the middle axis)
+  return slab;
+}
+
+std::vector<Complex> SlabFft3D::inverse(std::vector<Complex> slab) {
+  assert(slab.size() == local_size());
+  local_middle_fft(slab, Direction::Inverse);  // z
+  slab = global_transpose(slab);               // -> [zl][y][x]
+  local_middle_fft(slab, Direction::Inverse);  // y
+  local_lines_fft(slab, Direction::Inverse);   // x
+  return slab;
+}
+
+}  // namespace hotlib::fft

@@ -1,0 +1,56 @@
+#include "gravity/abm_forces.hpp"
+
+#include "gravity/kernels.hpp"
+#include "hot/tree.hpp"
+
+namespace hotlib::gravity {
+
+AbmForceResult abm_tree_forces(parc::Rank& rank, hot::Bodies& local,
+                               const morton::Domain& domain,
+                               const TreeForceConfig& cfg) {
+  AbmForceResult result;
+  const std::vector<hot::KeyRange> ranges =
+      hot::decompose(rank, local, domain, &result.decomp);
+
+  hot::Tree tree;
+  tree.build(local.pos, local.mass, domain);
+  hot::DistributedTree dtree(rank, tree, local.pos, local.mass, ranges, domain);
+
+  local.clear_forces();
+  const double eps2 = cfg.softening * cfg.softening;
+  const auto& cells = tree.cells();
+
+  result.traversal = dtree.traverse(
+      cfg.mac,
+      [&](std::uint32_t leaf_index, const hot::InteractionLists& lists,
+          const hot::DistributedTree::RemoteLists& remote) {
+        const hot::Cell& group = cells[leaf_index];
+        for (std::uint32_t t = group.body_begin;
+             t < group.body_begin + group.body_count; ++t) {
+          const std::uint32_t i = tree.order()[t];
+          Vec3d a{};
+          double p = 0;
+          for (std::uint32_t j : lists.bodies) {
+            if (j == i) continue;
+            pp_accumulate(local.pos[i], local.pos[j], local.mass[j], eps2, a, p);
+          }
+          for (std::uint32_t ci : lists.cells)
+            pc_accumulate(local.pos[i], cells[ci], cfg.mac.quadrupole, eps2, a, p);
+          for (const hot::SourceRecord& s : remote.bodies)
+            pp_accumulate(local.pos[i], s.pos, s.mass, eps2, a, p);
+          for (const hot::CellRecord& c : remote.cells)
+            pc_accumulate(local.pos[i], c.com, c.mass, c.quad, cfg.mac.quadrupole,
+                          eps2, a, p);
+          local.acc[i] += cfg.G * a;
+          local.pot[i] += cfg.G * p;
+          const std::uint64_t pp = lists.bodies.size() - 1 + remote.bodies.size();
+          const std::uint64_t pc = lists.cells.size() + remote.cells.size();
+          result.tally.body_body += pp;
+          result.tally.body_cell += pc;
+          local.work[i] = static_cast<double>(pp + pc);
+        }
+      });
+  return result;
+}
+
+}  // namespace hotlib::gravity

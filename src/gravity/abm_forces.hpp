@@ -1,0 +1,27 @@
+// abm_forces.hpp — gravity on the request-driven distributed traversal
+// (hot::DistributedTree), the paper's latency-hiding alternative to the
+// LET-push pipeline in parallel.hpp. Both produce forces at the same MAC
+// accuracy; bench_abm compares their communication behaviour.
+#pragma once
+
+#include "gravity/evaluator.hpp"
+#include "hot/bodies.hpp"
+#include "hot/decompose.hpp"
+#include "hot/dtree.hpp"
+#include "parc/rank.hpp"
+
+namespace hotlib::gravity {
+
+struct AbmForceResult {
+  InteractionTally tally;            // this rank's interactions
+  hot::DecomposeStats decomp;
+  hot::DistributedTree::Stats traversal;
+};
+
+// Compute forces into local.acc/local.pot (overwritten); bodies migrate via
+// the weighted decomposition exactly as in parallel_tree_forces.
+AbmForceResult abm_tree_forces(parc::Rank& rank, hot::Bodies& local,
+                               const morton::Domain& domain,
+                               const TreeForceConfig& cfg);
+
+}  // namespace hotlib::gravity

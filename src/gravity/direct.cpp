@@ -1,0 +1,80 @@
+#include "gravity/direct.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "gravity/kernels.hpp"
+
+namespace hotlib::gravity {
+
+InteractionTally direct_forces(std::span<const Vec3d> pos, std::span<const double> mass,
+                               double eps, double G, std::span<Vec3d> acc,
+                               std::span<double> pot) {
+  assert(pos.size() == mass.size() && pos.size() == acc.size() && pos.size() == pot.size());
+  const std::size_t n = pos.size();
+  const double eps2 = eps * eps;
+  InteractionTally tally;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3d a{};
+    double p = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      pp_accumulate(pos[i], pos[j], mass[j], eps2, a, p);
+    }
+    acc[i] = G * a;
+    pot[i] = G * p;
+    tally.body_body += n - 1;
+  }
+  return tally;
+}
+
+namespace {
+struct Source {
+  Vec3d pos;
+  double mass;
+};
+}  // namespace
+
+InteractionTally ring_direct_forces(parc::Rank& rank, std::span<const Vec3d> pos,
+                                    std::span<const double> mass, double eps, double G,
+                                    std::span<Vec3d> acc, std::span<double> pot) {
+  const int p = rank.size();
+  const std::size_t n = pos.size();
+  const double eps2 = eps * eps;
+  InteractionTally tally;
+
+  std::vector<Vec3d> a(n, Vec3d{});
+  std::vector<double> phi(n, 0.0);
+
+  // Travelling source block, initialized to the local block.
+  std::vector<Source> travel(n);
+  for (std::size_t j = 0; j < n; ++j) travel[j] = {pos[j], mass[j]};
+
+  const int right = (rank.rank() + 1) % p;
+  const int left = (rank.rank() - 1 + p) % p;
+  for (int s = 0; s < p; ++s) {
+    // Interact local sinks with the current travelling block. On the first
+    // stage the block is our own: skip the self pair by index.
+    const bool self_stage = (s == 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < travel.size(); ++j) {
+        if (self_stage && i == j) continue;
+        pp_accumulate(pos[i], travel[j].pos, travel[j].mass, eps2, a[i], phi[i]);
+      }
+      tally.body_body += travel.size() - (self_stage ? 1 : 0);
+    }
+    if (s + 1 < p) {
+      // Shift the block around the ring. Tag by stage to keep order.
+      const int tag = 100 + s;
+      rank.send_span<Source>(right, tag, travel);
+      travel = rank.recv(left, tag).as_vector<Source>();
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = G * a[i];
+    pot[i] = G * phi[i];
+  }
+  return tally;
+}
+
+}  // namespace hotlib::gravity

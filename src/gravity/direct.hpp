@@ -1,0 +1,32 @@
+// direct.hpp — the O(N^2) solution of the gravitational N-body problem.
+//
+// "We are not fans of the trivial O(N^2) solution... the software
+// implementation is simply a double loop, and is very easy to parallelize
+// using a ring decomposition." This module provides the serial double loop
+// (reference for accuracy tests) and the ring-decomposed parallel version
+// used by bench_nsquared to reproduce the 1M-body / 635 Gflop benchmark.
+#pragma once
+
+#include <span>
+
+#include "parc/rank.hpp"
+#include "util/counters.hpp"
+#include "util/vec3.hpp"
+
+namespace hotlib::gravity {
+
+// Serial double loop: accelerations and potentials for all bodies, Plummer
+// softening eps, gravitational constant G. Counts N*(N-1) interactions.
+InteractionTally direct_forces(std::span<const Vec3d> pos, std::span<const double> mass,
+                               double eps, double G, std::span<Vec3d> acc,
+                               std::span<double> pot);
+
+// Ring-decomposed parallel double loop. Each rank owns a block of sinks
+// (pos/mass/acc/pot are the local block); a travelling copy of the source
+// block is shifted around the ring P times, overlapping each shift with the
+// local block-block interaction. Returns the local interaction tally.
+InteractionTally ring_direct_forces(parc::Rank& rank, std::span<const Vec3d> pos,
+                                    std::span<const double> mass, double eps, double G,
+                                    std::span<Vec3d> acc, std::span<double> pot);
+
+}  // namespace hotlib::gravity

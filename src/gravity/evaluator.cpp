@@ -1,0 +1,69 @@
+#include "gravity/evaluator.hpp"
+
+#include <cassert>
+
+#include "gravity/kernels.hpp"
+
+namespace hotlib::gravity {
+
+InteractionTally tree_forces(const hot::Tree& tree, std::span<const Vec3d> pos,
+                             std::span<const double> mass, const TreeForceConfig& cfg,
+                             std::span<Vec3d> acc, std::span<double> pot,
+                             std::span<double> work) {
+  assert(pos.size() == acc.size() && pos.size() == pot.size());
+  InteractionTally tally;
+  const double eps2 = cfg.softening * cfg.softening;
+  const auto& cells = tree.cells();
+  hot::InteractionLists lists;
+
+  for (std::uint32_t li : hot::leaf_indices(tree)) {
+    hot::build_interaction_lists(tree, li, cfg.mac, lists, tally);
+    const hot::Cell& group = cells[li];
+    for (std::uint32_t t = group.body_begin; t < group.body_begin + group.body_count;
+         ++t) {
+      const std::uint32_t i = tree.order()[t];
+      Vec3d a{};
+      double p = 0;
+      for (std::uint32_t j : lists.bodies) {
+        if (j == i) continue;
+        pp_accumulate(pos[i], pos[j], mass[j], eps2, a, p);
+      }
+      for (std::uint32_t ci : lists.cells)
+        pc_accumulate(pos[i], cells[ci], cfg.mac.quadrupole, eps2, a, p);
+
+      acc[i] += cfg.G * a;
+      pot[i] += cfg.G * p;
+      const std::uint64_t count =
+          lists.bodies.size() - 1 + lists.cells.size();  // self term skipped
+      tally.body_body += lists.bodies.size() - 1;
+      tally.body_cell += lists.cells.size();
+      if (!work.empty()) work[i] = static_cast<double>(count);
+    }
+  }
+  return tally;
+}
+
+InteractionTally apply_let_import(const hot::LetImport& import,
+                                  std::span<const Vec3d> pos, const TreeForceConfig& cfg,
+                                  std::span<Vec3d> acc, std::span<double> pot,
+                                  std::span<double> work) {
+  InteractionTally tally;
+  const double eps2 = cfg.softening * cfg.softening;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    Vec3d a{};
+    double p = 0;
+    for (const hot::SourceRecord& s : import.bodies)
+      pp_accumulate(pos[i], s.pos, s.mass, eps2, a, p);
+    for (const hot::CellRecord& c : import.cells)
+      pc_accumulate(pos[i], c.com, c.mass, c.quad, cfg.mac.quadrupole, eps2, a, p);
+    acc[i] += cfg.G * a;
+    pot[i] += cfg.G * p;
+    if (!work.empty())
+      work[i] += static_cast<double>(import.bodies.size() + import.cells.size());
+  }
+  tally.body_body += static_cast<std::uint64_t>(pos.size()) * import.bodies.size();
+  tally.body_cell += static_cast<std::uint64_t>(pos.size()) * import.cells.size();
+  return tally;
+}
+
+}  // namespace hotlib::gravity

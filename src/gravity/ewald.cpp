@@ -1,0 +1,140 @@
+#include "gravity/ewald.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "gravity/kernels.hpp"
+
+namespace hotlib::gravity {
+
+namespace {
+constexpr int kRealCutoff = 4;  // real-space image range
+constexpr int kFourierCutoff = 4;  // k-space mode range
+}  // namespace
+
+EwaldTable::EwaldTable(double box_size, int n) : box_(box_size), n_(n) {
+  assert(box_size > 0 && n >= 2);
+  cell_ = 0.5 * box_ / n_;
+  table_.resize(static_cast<std::size_t>(n_ + 1) * (n_ + 1) * (n_ + 1));
+  for (int k = 0; k <= n_; ++k)
+    for (int j = 0; j <= n_; ++j)
+      for (int i = 0; i <= n_; ++i)
+        table_[at(i, j, k)] = exact_correction({i * cell_, j * cell_, k * cell_});
+}
+
+Vec3d EwaldTable::minimum_image(Vec3d d) const {
+  for (int a = 0; a < 3; ++a) {
+    double& c = d[static_cast<std::size_t>(a)];
+    c -= box_ * std::nearbyint(c / box_);
+  }
+  return d;
+}
+
+Vec3d EwaldTable::exact_correction(const Vec3d& d) const {
+  // Acceleration on a sink at separation d from a unit-mass source at the
+  // origin, from the infinite lattice of images, minus the bare Newtonian
+  // attraction of the nearest image:  a_N = -d / |d|^3.
+  const double alpha = 2.0 / box_;
+  Vec3d acc{};
+
+  // Real-space (short-range, erfc-screened) lattice sum.
+  for (int nx = -kRealCutoff; nx <= kRealCutoff; ++nx)
+    for (int ny = -kRealCutoff; ny <= kRealCutoff; ++ny)
+      for (int nz = -kRealCutoff; nz <= kRealCutoff; ++nz) {
+        const Vec3d r{d.x - nx * box_, d.y - ny * box_, d.z - nz * box_};
+        const double u = norm(r);
+        if (u < 1e-12) continue;  // self image: no force by symmetry
+        const double au = alpha * u;
+        const double screen =
+            std::erfc(au) + (2.0 * au / std::sqrt(std::numbers::pi)) *
+                                std::exp(-au * au);
+        acc -= (screen / (u * u * u)) * r;
+      }
+
+  // k-space (long-range) sum: + (4 pi / L^3) sum_k (k/k^2) e^{-k^2/4a^2} sin(k.d)
+  const double kf = 2.0 * std::numbers::pi / box_;
+  for (int mx = -kFourierCutoff; mx <= kFourierCutoff; ++mx)
+    for (int my = -kFourierCutoff; my <= kFourierCutoff; ++my)
+      for (int mz = -kFourierCutoff; mz <= kFourierCutoff; ++mz) {
+        if (mx == 0 && my == 0 && mz == 0) continue;
+        const Vec3d k{kf * mx, kf * my, kf * mz};
+        const double k2 = norm2(k);
+        const double factor = (4.0 * std::numbers::pi / (box_ * box_ * box_)) *
+                              std::exp(-k2 / (4.0 * alpha * alpha)) / k2;
+        acc -= factor * std::sin(dot(k, d)) * k;
+      }
+
+  // Subtract the bare Newtonian attraction of the nearest image.
+  const double u = norm(d);
+  if (u > 1e-12) acc += d / (u * u * u);
+  return acc;
+}
+
+Vec3d EwaldTable::correction(const Vec3d& d) const {
+  // Fold into the positive octant; component i of the correction is odd
+  // under d_i -> -d_i (lattice symmetry).
+  Vec3d q = d;
+  double sign[3] = {1, 1, 1};
+  for (int a = 0; a < 3; ++a) {
+    if (q[static_cast<std::size_t>(a)] < 0) {
+      q[static_cast<std::size_t>(a)] = -q[static_cast<std::size_t>(a)];
+      sign[a] = -1;
+    }
+  }
+  // Trilinear interpolation on the (n+1)^3 grid over [0, L/2]^3.
+  auto clamp_idx = [&](double x, int& i0, double& f) {
+    const double t = x / cell_;
+    i0 = static_cast<int>(t);
+    if (i0 >= n_) i0 = n_ - 1;
+    f = t - i0;
+    if (f < 0) f = 0;
+    if (f > 1) f = 1;
+  };
+  int i0, j0, k0;
+  double fx, fy, fz;
+  clamp_idx(q.x, i0, fx);
+  clamp_idx(q.y, j0, fy);
+  clamp_idx(q.z, k0, fz);
+  Vec3d out{};
+  for (int dk = 0; dk < 2; ++dk)
+    for (int dj = 0; dj < 2; ++dj)
+      for (int di = 0; di < 2; ++di) {
+        const double w = (di ? fx : 1 - fx) * (dj ? fy : 1 - fy) * (dk ? fz : 1 - fz);
+        out += w * table_[at(i0 + di, j0 + dj, k0 + dk)];
+      }
+  return {sign[0] * out.x, sign[1] * out.y, sign[2] * out.z};
+}
+
+InteractionTally periodic_direct_forces(std::span<const Vec3d> pos,
+                                        std::span<const double> mass,
+                                        const EwaldTable& ewald, double softening,
+                                        double G, std::span<Vec3d> acc,
+                                        std::span<double> pot) {
+  const std::size_t n = pos.size();
+  const double eps2 = softening * softening;
+  InteractionTally tally;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3d a{};
+    double p = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      // Minimum-image Newtonian part (softened)...
+      const Vec3d d = ewald.minimum_image(pos[j] - pos[i]);
+      const double r2 = norm2(d) + eps2;
+      const double rinv = karp_rsqrt(r2);
+      const double rinv3 = rinv * rinv * rinv;
+      a += (mass[j] * rinv3) * d;
+      p -= mass[j] * rinv;
+      // ...plus the tabulated lattice correction. Note the correction is
+      // defined for a sink at separation (sink - source) = -d.
+      a += mass[j] * ewald.correction(-1.0 * d);
+    }
+    acc[i] = G * a;
+    pot[i] = G * p;  // potential: minimum image only (diagnostic use)
+    tally.body_body += n - 1;
+  }
+  return tally;
+}
+
+}  // namespace hotlib::gravity

@@ -1,0 +1,48 @@
+#include "gravity/integrator.hpp"
+
+namespace hotlib::gravity {
+
+void kick(hot::Bodies& b, double dt) {
+  for (std::size_t i = 0; i < b.size(); ++i) b.vel[i] += dt * b.acc[i];
+}
+
+void drift(hot::Bodies& b, double dt) {
+  for (std::size_t i = 0; i < b.size(); ++i) b.pos[i] += dt * b.vel[i];
+}
+
+double kinetic_energy(const hot::Bodies& b) {
+  double e = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) e += 0.5 * b.mass[i] * norm2(b.vel[i]);
+  return e;
+}
+
+double potential_energy(const hot::Bodies& b) {
+  double e = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) e += 0.5 * b.mass[i] * b.pot[i];
+  return e;
+}
+
+Vec3d total_momentum(const hot::Bodies& b) {
+  Vec3d p{};
+  for (std::size_t i = 0; i < b.size(); ++i) p += b.mass[i] * b.vel[i];
+  return p;
+}
+
+Vec3d total_angular_momentum(const hot::Bodies& b) {
+  Vec3d l{};
+  for (std::size_t i = 0; i < b.size(); ++i)
+    l += b.mass[i] * cross(b.pos[i], b.vel[i]);
+  return l;
+}
+
+Vec3d center_of_mass(const hot::Bodies& b) {
+  Vec3d c{};
+  double m = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    c += b.mass[i] * b.pos[i];
+    m += b.mass[i];
+  }
+  return m > 0 ? c / m : c;
+}
+
+}  // namespace hotlib::gravity

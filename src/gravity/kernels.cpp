@@ -1,0 +1,24 @@
+#include "gravity/kernels.hpp"
+
+#include <cmath>
+
+namespace hotlib::gravity {
+
+KarpRsqrtTable::KarpRsqrtTable() {
+  // For every (exponent parity, leading 7 mantissa bits) class, store the
+  // mantissa of 1/sqrt(x) evaluated at the class midpoint. The stored seed
+  // contributes ~11 correct bits, letting the Newton iterations converge in
+  // three steps instead of four.
+  for (std::uint32_t idx = 0; idx < 256; ++idx) {
+    // Reconstruct a representative x in [1, 4): exponent parity is the top
+    // bit of the index, the mantissa bits follow.
+    const std::uint32_t parity = idx >> 7;
+    const std::uint32_t mant = idx & 0x7F;
+    const double frac = 1.0 + (static_cast<double>(mant) + 0.5) / 128.0;
+    const double x = parity ? 2.0 * frac : frac;
+    const double y = 1.0 / std::sqrt(x);
+    table_[idx] = std::bit_cast<std::uint64_t>(y);
+  }
+}
+
+}  // namespace hotlib::gravity

@@ -1,0 +1,65 @@
+// bodies.hpp — structure-of-arrays particle container shared by all of the
+// applications (gravity, vortex, SPH) built on the hashed oct-tree library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace hotlib::hot {
+
+struct Bodies {
+  std::vector<Vec3d> pos;
+  std::vector<Vec3d> vel;
+  std::vector<Vec3d> acc;
+  std::vector<double> mass;
+  std::vector<double> pot;
+  // Work weight from the previous timestep, used by the weighted domain
+  // decomposition ("the amount of data that ends up in each processor is
+  // weighted by the work associated with each item").
+  std::vector<double> work;
+  std::vector<std::uint64_t> id;
+
+  std::size_t size() const { return pos.size(); }
+  bool empty() const { return pos.empty(); }
+
+  void resize(std::size_t n) {
+    pos.resize(n);
+    vel.resize(n);
+    acc.resize(n);
+    mass.resize(n, 0.0);
+    pot.resize(n, 0.0);
+    work.resize(n, 1.0);
+    id.resize(n, 0);
+  }
+
+  void clear_forces() {
+    for (auto& a : acc) a = {};
+    for (auto& p : pot) p = 0.0;
+  }
+
+  void push_back(const Vec3d& x, const Vec3d& v, double m, std::uint64_t ident) {
+    pos.push_back(x);
+    vel.push_back(v);
+    acc.push_back({});
+    mass.push_back(m);
+    pot.push_back(0.0);
+    work.push_back(1.0);
+    id.push_back(ident);
+  }
+
+  // Append body i of `other`.
+  void append_from(const Bodies& other, std::size_t i) {
+    pos.push_back(other.pos[i]);
+    vel.push_back(other.vel[i]);
+    acc.push_back(other.acc[i]);
+    mass.push_back(other.mass[i]);
+    pot.push_back(other.pot[i]);
+    work.push_back(other.work[i]);
+    id.push_back(other.id[i]);
+  }
+};
+
+}  // namespace hotlib::hot

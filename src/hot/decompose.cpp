@@ -1,0 +1,148 @@
+#include "hot/decompose.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hotlib::hot {
+
+using morton::Key;
+
+namespace {
+
+// Flat wire format for one body.
+struct BodyRecord {
+  Vec3d pos;
+  Vec3d vel;
+  double mass;
+  double work;
+  std::uint64_t id;
+};
+
+BodyRecord pack(const Bodies& b, std::size_t i) {
+  return {b.pos[i], b.vel[i], b.mass[i], b.work[i], b.id[i]};
+}
+
+void unpack(const BodyRecord& r, Bodies& b) {
+  b.pos.push_back(r.pos);
+  b.vel.push_back(r.vel);
+  b.acc.push_back({});
+  b.mass.push_back(r.mass);
+  b.pot.push_back(0.0);
+  b.work.push_back(r.work);
+  b.id.push_back(r.id);
+}
+
+struct Sample {
+  Key key;
+  double weight;
+};
+
+}  // namespace
+
+std::vector<Key> sort_bodies_by_key(Bodies& b, const morton::Domain& domain) {
+  const std::size_t n = b.size();
+  std::vector<Key> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = morton::key_from_position(b.pos[i], domain);
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&](std::uint32_t x, std::uint32_t y) { return keys[x] < keys[y]; });
+
+  Bodies sorted;
+  sorted.pos.reserve(n);
+  std::vector<Key> sorted_keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted.append_from(b, perm[i]);
+    sorted_keys[i] = keys[perm[i]];
+  }
+  b = std::move(sorted);
+  return sorted_keys;
+}
+
+std::vector<KeyRange> decompose(parc::Rank& rank, Bodies& local,
+                                const morton::Domain& domain, DecomposeStats* stats,
+                                int samples_per_rank) {
+  const int p = rank.size();
+  std::vector<Key> keys = sort_bodies_by_key(local, domain);
+  const std::size_t n = local.size();
+
+  // Local cumulative work.
+  std::vector<double> cum(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) cum[i + 1] = cum[i] + local.work[i];
+  const double w_local = cum[n];
+  const double w_total = rank.allreduce(w_local, parc::Sum{});
+
+  // Weight-quantile samples: key at every (s+0.5)/S of local work, each
+  // representing w_local/S units of work.
+  std::vector<Sample> my_samples;
+  const int s_count = std::max(1, samples_per_rank);
+  if (n > 0 && w_local > 0) {
+    for (int s = 0; s < s_count; ++s) {
+      const double target = w_local * (s + 0.5) / s_count;
+      const auto it = std::upper_bound(cum.begin() + 1, cum.end(), target);
+      const std::size_t idx = std::min<std::size_t>(
+          static_cast<std::size_t>(it - cum.begin() - 1), n - 1);
+      my_samples.push_back({keys[idx], w_local / s_count});
+    }
+  }
+  auto gathered = rank.allgather_vector<Sample>(my_samples);
+  std::vector<Sample> samples;
+  for (auto& g : gathered) samples.insert(samples.end(), g.begin(), g.end());
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.key < b.key; });
+
+  // Splitters at equal global work.
+  std::vector<Key> split(static_cast<std::size_t>(p) + 1);
+  split.front() = 0;
+  split.back() = ~Key{0};
+  {
+    double acc = 0;
+    int next = 1;
+    for (const Sample& s : samples) {
+      acc += s.weight;
+      while (next < p && acc >= w_total * next / p) {
+        split[static_cast<std::size_t>(next)] = s.key + 1;  // end after this sample
+        ++next;
+      }
+    }
+    while (next < p) split[static_cast<std::size_t>(next++)] = ~Key{0};
+    // Splitters must be nondecreasing (they are, since samples were sorted).
+  }
+
+  // Route bodies.
+  std::vector<std::vector<BodyRecord>> outgoing(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = std::upper_bound(split.begin() + 1, split.end() - 1, keys[i]);
+    const int dest = static_cast<int>(it - (split.begin() + 1));
+    outgoing[static_cast<std::size_t>(dest)].push_back(pack(local, i));
+  }
+  std::size_t sent = 0;
+  for (int d = 0; d < p; ++d)
+    if (d != rank.rank()) sent += outgoing[static_cast<std::size_t>(d)].size();
+
+  auto incoming = rank.alltoallv_typed<BodyRecord>(outgoing);
+  Bodies merged;
+  std::size_t received = 0;
+  for (int s = 0; s < p; ++s) {
+    for (const BodyRecord& r : incoming[static_cast<std::size_t>(s)]) unpack(r, merged);
+    if (s != rank.rank()) received += incoming[static_cast<std::size_t>(s)].size();
+  }
+  local = std::move(merged);
+  sort_bodies_by_key(local, domain);
+
+  std::vector<KeyRange> ranges(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    ranges[static_cast<std::size_t>(r)] = {split[static_cast<std::size_t>(r)],
+                                           split[static_cast<std::size_t>(r) + 1]};
+
+  if (stats != nullptr) {
+    stats->sent = sent;
+    stats->received = received;
+    stats->local_work = std::accumulate(local.work.begin(), local.work.end(), 0.0);
+    stats->max_work = rank.allreduce(stats->local_work, parc::Max{});
+    stats->mean_work = w_total / p;
+  }
+  return ranges;
+}
+
+}  // namespace hotlib::hot

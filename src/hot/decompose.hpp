@@ -1,0 +1,50 @@
+// decompose.hpp — work-weighted domain decomposition by parallel key sort.
+//
+// "The domain decomposition is obtained by splitting this list into Np
+// pieces. The implementation of the domain decomposition is practically
+// identical to a parallel sorting algorithm, with the modification that the
+// amount of data that ends up in each processor is weighted by the work
+// associated with each item."
+//
+// Implemented as a weighted sample sort over full-depth Morton keys: each
+// rank sorts its bodies, contributes weight-quantile samples, the union of
+// samples determines P-1 splitter keys at equal global work, and an
+// all-to-all moves every body to the rank owning its key interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hot/bodies.hpp"
+#include "morton/key.hpp"
+#include "parc/rank.hpp"
+
+namespace hotlib::hot {
+
+struct KeyRange {
+  morton::Key lo = 0;  // inclusive
+  morton::Key hi = 0;  // exclusive
+  bool contains(morton::Key k) const { return k >= lo && k < hi; }
+};
+
+struct DecomposeStats {
+  std::size_t sent = 0;      // bodies shipped off this rank
+  std::size_t received = 0;  // bodies received
+  double local_work = 0.0;   // post-exchange work on this rank
+  double max_work = 0.0;     // max over ranks (load balance numerator)
+  double mean_work = 0.0;    // average over ranks
+  double imbalance() const { return mean_work > 0 ? max_work / mean_work : 1.0; }
+};
+
+// Redistribute `local` so rank r owns the r-th contiguous key interval with
+// (approximately) equal total work. Bodies come back sorted by key. Returns
+// the key range of every rank (identical on all ranks).
+std::vector<KeyRange> decompose(parc::Rank& rank, Bodies& local,
+                                const morton::Domain& domain,
+                                DecomposeStats* stats = nullptr,
+                                int samples_per_rank = 64);
+
+// Sort a Bodies container in place by Morton key; returns the sorted keys.
+std::vector<morton::Key> sort_bodies_by_key(Bodies& b, const morton::Domain& domain);
+
+}  // namespace hotlib::hot

@@ -1,0 +1,132 @@
+// dtree.hpp — request-driven distributed tree traversal over ABM.
+//
+// This is the paper's signature mechanism: "This level of indirection
+// through a hash table can also be used to catch accesses to non-local
+// data, and allows us to request and receive data from other processors
+// using the global key name space. An efficient mechanism for latency
+// hiding in the tree traversal phase of the algorithm is critical. To avoid
+// stalls during non-local data access, we effectively do explicit 'context
+// switching'. In order to manage the complexities of the required
+// asynchronous message traffic, we have developed a paradigm called
+// 'asynchronous batched messages (ABM)'."
+//
+// Structure:
+//   * Ranks own disjoint Morton-key intervals (from hot::decompose); a cell
+//     is *owned* by a rank when its whole key interval fits in that rank's
+//     range. Cells that straddle a splitter form the replicated "crown":
+//     their global moments are merged from per-rank partial moments in one
+//     allgather at setup.
+//   * Each sink group (local leaf) walks the global tree: crown cells and
+//     local cells resolve immediately; a missing remote cell suspends the
+//     walk, posts a batched key request to the owner, and the engine
+//     switches to another group. Owners answer requests with the cell's
+//     moments, child mask, and (for leaves) its bodies; replies are cached
+//     in the key->cell hash so later groups hit locally.
+//   * Termination: rounds of flush/poll plus an allreduce barrier over
+//     "all groups complete" — a rank that finishes early keeps serving
+//     remote requests until everyone is done.
+//
+// Compare hot::exchange_let (the sender-push alternative); bench_abm
+// measures both against each other.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hot/decompose.hpp"
+#include "hot/let.hpp"
+#include "hot/mac.hpp"
+#include "hot/traverse.hpp"
+#include "hot/tree.hpp"
+#include "parc/rank.hpp"
+
+namespace hotlib::hot {
+
+class DistributedTree {
+ public:
+  // `ranges` are the per-rank key intervals from decompose(); `tree` is this
+  // rank's local tree over `pos`/`mass` (original indexing), built on the
+  // shared global `domain`.
+  DistributedTree(parc::Rank& rank, const Tree& tree, std::span<const Vec3d> pos,
+                  std::span<const double> mass, std::vector<KeyRange> ranges,
+                  const morton::Domain& domain);
+
+  // Remote data accepted for one sink group.
+  struct RemoteLists {
+    std::vector<CellRecord> cells;
+    std::vector<SourceRecord> bodies;
+  };
+
+  // Called once per local sink group when its walk completes.
+  using GroupEval = std::function<void(std::uint32_t leaf_index,
+                                       const InteractionLists& local,
+                                       const RemoteLists& remote)>;
+
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t replies_served = 0;   // requests this rank answered
+    std::uint64_t cache_hits = 0;       // remote lookups satisfied locally
+    std::uint64_t suspensions = 0;      // context switches
+    std::uint64_t crown_cells = 0;      // replicated shared cells
+    InteractionTally tally;             // MAC bookkeeping
+  };
+
+  // Walk every local sink group to completion; eval() fires per group.
+  Stats traverse(const Mac& mac, const GroupEval& eval);
+
+ private:
+  struct CrownCell {
+    CellRecord rec{};
+    std::uint8_t child_mask = 0;
+  };
+  struct RemoteCell {
+    CellRecord rec{};
+    std::uint8_t child_mask = 0;
+    bool leaf = false;
+    int owner = -1;
+    std::vector<SourceRecord> bodies;  // filled for leaves
+  };
+
+  // Walk-stack entry: a global key, or (local_index >= 0) a cell of the
+  // local tree reached on the fast path.
+  struct Entry {
+    morton::Key key = 0;
+    std::int32_t local_index = -1;
+  };
+
+  struct Walk {
+    std::uint32_t leaf_index = 0;
+    std::vector<Entry> stack;
+    InteractionLists local;
+    RemoteLists remote;
+  };
+
+  int owner_of(morton::Key key) const;
+  bool crosses(morton::Key key) const;
+  void setup_crown(const Tree& tree);
+
+  // Advance one walk until it suspends (returns the missing key) or
+  // completes (returns 0).
+  morton::Key advance(Walk& w, const Mac& mac, Stats& stats);
+
+  void serve_request(int requester, morton::Key key);
+
+  parc::Rank& rank_;
+  const Tree& tree_;
+  std::span<const Vec3d> pos_;
+  std::span<const double> mass_;
+  std::vector<KeyRange> ranges_;
+  morton::Domain domain_;
+
+  std::unordered_map<morton::Key, CrownCell> crown_;
+  std::unordered_map<morton::Key, RemoteCell> cache_;
+  int am_request_ = -1;
+  int am_reply_ = -1;
+  Stats* active_stats_ = nullptr;
+  std::vector<morton::Key> arrived_keys_;  // replies since last drain
+};
+
+}  // namespace hotlib::hot

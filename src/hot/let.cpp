@@ -1,0 +1,101 @@
+#include "hot/let.hpp"
+
+#include <cstring>
+
+namespace hotlib::hot {
+
+Aabb local_aabb(const Bodies& b) {
+  Aabb box;
+  if (b.empty()) return box;
+  box.lo = box.hi = b.pos[0];
+  for (const Vec3d& x : b.pos) {
+    for (int a = 0; a < 3; ++a) {
+      box.lo[a] = std::min(box.lo[a], x[a]);
+      box.hi[a] = std::max(box.hi[a], x[a]);
+    }
+  }
+  return box;
+}
+
+namespace {
+
+// Walk the local tree against a remote box, appending what that rank needs.
+void collect_for_box(const Tree& tree, std::span<const Vec3d> pos,
+                     std::span<const double> mass, const Aabb& box, const Mac& mac,
+                     std::vector<CellRecord>& cells, std::vector<SourceRecord>& bodies) {
+  if (tree.empty() || tree.root().body_count == 0) return;
+  std::vector<std::uint32_t> stack{0};
+  const auto& all = tree.cells();
+  while (!stack.empty()) {
+    const Cell& c = all[stack.back()];
+    stack.pop_back();
+    if (c.body_count == 0) continue;
+    const double dist = box.distance(c.com);  // closest possible remote sink
+    if (mac.accept(c, dist)) {
+      cells.push_back({c.com, c.mass, c.quad, c.b2, c.bmax});
+      continue;
+    }
+    if (c.is_leaf()) {
+      for (std::uint32_t i = c.body_begin; i < c.body_begin + c.body_count; ++i) {
+        const std::uint32_t orig = tree.order()[i];
+        bodies.push_back({pos[orig], mass[orig]});
+      }
+      continue;
+    }
+    for (std::uint32_t k = 0; k < c.nchildren; ++k) stack.push_back(c.first_child + k);
+  }
+}
+
+}  // namespace
+
+LetImport exchange_let(parc::Rank& rank, const Tree& local_tree,
+                       std::span<const Vec3d> local_pos,
+                       std::span<const double> local_mass,
+                       const std::vector<Aabb>& boxes, const Mac& mac) {
+  const int p = rank.size();
+
+  // Wire format per destination: [u64 ncells][u64 nbodies][cells][bodies].
+  std::vector<parc::Bytes> out(static_cast<std::size_t>(p));
+  std::size_t bytes_sent = 0;
+  for (int d = 0; d < p; ++d) {
+    if (d == rank.rank()) continue;
+    std::vector<CellRecord> cells;
+    std::vector<SourceRecord> bodies;
+    collect_for_box(local_tree, local_pos, local_mass, boxes[static_cast<std::size_t>(d)],
+                    mac, cells, bodies);
+    parc::Bytes& buf = out[static_cast<std::size_t>(d)];
+    const std::uint64_t nc = cells.size(), nb = bodies.size();
+    buf.resize(16 + nc * sizeof(CellRecord) + nb * sizeof(SourceRecord));
+    std::memcpy(buf.data(), &nc, 8);
+    std::memcpy(buf.data() + 8, &nb, 8);
+    std::memcpy(buf.data() + 16, cells.data(), nc * sizeof(CellRecord));
+    std::memcpy(buf.data() + 16 + nc * sizeof(CellRecord), bodies.data(),
+                nb * sizeof(SourceRecord));
+    bytes_sent += buf.size();
+  }
+
+  std::vector<parc::Bytes> in = rank.alltoallv(std::move(out));
+
+  LetImport import;
+  import.bytes_sent = bytes_sent;
+  for (int s = 0; s < p; ++s) {
+    if (s == rank.rank()) continue;
+    const parc::Bytes& buf = in[static_cast<std::size_t>(s)];
+    if (buf.size() < 16) continue;
+    std::uint64_t nc = 0, nb = 0;
+    std::memcpy(&nc, buf.data(), 8);
+    std::memcpy(&nb, buf.data() + 8, 8);
+    const std::size_t cells_at = 16;
+    const std::size_t bodies_at = cells_at + nc * sizeof(CellRecord);
+    const std::size_t old_c = import.cells.size(), old_b = import.bodies.size();
+    import.cells.resize(old_c + nc);
+    import.bodies.resize(old_b + nb);
+    std::memcpy(import.cells.data() + old_c, buf.data() + cells_at,
+                nc * sizeof(CellRecord));
+    std::memcpy(import.bodies.data() + old_b, buf.data() + bodies_at,
+                nb * sizeof(SourceRecord));
+  }
+  return import;
+}
+
+}  // namespace hotlib::hot

@@ -1,0 +1,78 @@
+// let.hpp — locally essential tree (LET) exchange.
+//
+// After decomposition, each rank holds a contiguous Morton interval and
+// builds a local tree over its own bodies. To evaluate forces it also needs
+// the *locally essential* remote data: for every other rank, the cells of
+// that rank's tree that pass the MAC with respect to our entire domain, and
+// the raw bodies where the MAC fails all the way to a remote leaf.
+//
+// We use the "push" formulation (Salmon's original LET construction): the
+// *owner* of the data walks its tree against each remote rank's bounding box
+// and ships what that rank will need, in one all-to-all. Because the MAC is
+// applied against the closest possible sink in the remote box, every shipped
+// multipole is valid for every sink on the receiving rank, so imports can be
+// applied directly without re-traversal. (The request-driven ABM traversal —
+// the paper's latency-hiding alternative — lives in abm_tree.hpp; the two
+// paths are compared by bench_treecode.)
+#pragma once
+
+#include <vector>
+
+#include "hot/bodies.hpp"
+#include "hot/mac.hpp"
+#include "hot/tree.hpp"
+#include "parc/rank.hpp"
+#include "util/counters.hpp"
+
+namespace hotlib::hot {
+
+struct Aabb {
+  Vec3d lo{};
+  Vec3d hi{};
+
+  // Minimum distance from point q to this box (0 when inside).
+  double distance(const Vec3d& q) const {
+    double d2 = 0;
+    for (int a = 0; a < 3; ++a) {
+      const double below = lo[a] - q[a];
+      const double above = q[a] - hi[a];
+      const double ex = below > 0 ? below : (above > 0 ? above : 0.0);
+      d2 += ex * ex;
+    }
+    return std::sqrt(d2);
+  }
+};
+
+// Bounding box of the local bodies (degenerate when empty).
+Aabb local_aabb(const Bodies& b);
+
+// Multipole record shipped between ranks.
+struct CellRecord {
+  Vec3d com;
+  double mass;
+  std::array<double, 6> quad;
+  double b2;
+  double bmax;
+};
+
+// Raw body record shipped when a leaf must be resolved directly.
+struct SourceRecord {
+  Vec3d pos;
+  double mass;
+};
+
+struct LetImport {
+  std::vector<CellRecord> cells;
+  std::vector<SourceRecord> bodies;
+  std::size_t bytes_sent = 0;  // this rank's outgoing LET volume
+};
+
+// Exchange locally essential data among all ranks. `boxes` are the per-rank
+// bounding boxes (from allgathering local_aabb). Every shipped cell was
+// accepted by `mac` against the receiving rank's whole box.
+LetImport exchange_let(parc::Rank& rank, const Tree& local_tree,
+                       std::span<const Vec3d> local_pos,
+                       std::span<const double> local_mass,
+                       const std::vector<Aabb>& boxes, const Mac& mac);
+
+}  // namespace hotlib::hot

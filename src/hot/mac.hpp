@@ -1,0 +1,60 @@
+// mac.hpp — multipole acceptance criteria.
+//
+// "Effectively managing the errors introduced by this approximation is the
+// subject of an entire paper of ours" — Salmon & Warren, "Skeletons from the
+// treecode closet" (JCP 111:136, 1994). We implement two criteria:
+//
+//   * BarnesHut: the classic geometric opening angle test, accept when
+//     b_max / d < theta. This is the criterion of Barnes & Hut (1986).
+//   * SalmonWarren: an absolute-error criterion derived from the truncation
+//     error of the multipole expansion. For a monopole-only interaction the
+//     leading error term scales like G * B2 / (d - b_max)^4 * d^0 (B2 is the
+//     scalar second moment sum m |x-com|^2), giving
+//         r_crit = b_max + (3 G B2 / eps)^(1/4);
+//     with quadrupoles retained the error is driven by the third moment,
+//     bounded by B2 * b_max, giving
+//         r_crit = b_max + (2 G B2 b_max / eps)^(1/5).
+//     A cell is accepted when the sink is beyond r_crit, so the per-
+//     interaction acceleration error is bounded by eps (verified empirically
+//     by bench_accuracy).
+//
+// Both are expressed as a critical radius r_crit(cell); traversal code works
+// entirely in terms of dist > r_crit, where dist already accounts for the
+// sink group's own radius.
+#pragma once
+
+#include <cmath>
+
+#include "hot/tree.hpp"
+
+namespace hotlib::hot {
+
+enum class MacType { BarnesHut, SalmonWarren };
+
+struct Mac {
+  MacType type = MacType::BarnesHut;
+  double theta = 0.6;       // BarnesHut opening angle
+  double eps_abs = 1e-4;    // SalmonWarren absolute acceleration error bound
+  double G = 1.0;           // gravitational constant (enters the error bound)
+  bool quadrupole = true;   // whether evaluation keeps quadrupole terms
+
+  // Distance from the sink beyond which the cell's multipole expansion may be
+  // used. Point-mass cells (b2 == 0) are always acceptable beyond b_max.
+  double r_crit(const Cell& c) const {
+    switch (type) {
+      case MacType::BarnesHut:
+        return theta > 0 ? c.bmax / theta : c.bmax * 1e30;
+      case MacType::SalmonWarren: {
+        if (c.b2 <= 0) return c.bmax;
+        if (quadrupole)
+          return c.bmax + std::pow(2.0 * G * c.b2 * c.bmax / eps_abs, 0.2);
+        return c.bmax + std::pow(3.0 * G * c.b2 / eps_abs, 0.25);
+      }
+    }
+    return c.bmax;
+  }
+
+  bool accept(const Cell& c, double dist) const { return dist > 0 && dist >= r_crit(c); }
+};
+
+}  // namespace hotlib::hot

@@ -1,0 +1,52 @@
+#include "hot/traverse.hpp"
+
+namespace hotlib::hot {
+
+void build_interaction_lists(const Tree& tree, std::uint32_t leaf_index, const Mac& mac,
+                             InteractionLists& lists, InteractionTally& tally) {
+  lists.cells.clear();
+  lists.bodies.clear();
+  const auto& cells = tree.cells();
+  const Cell& group = cells[leaf_index];
+  const Vec3d gc = group.com;
+  const double gr = group.bmax;
+
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const std::uint32_t ci = stack.back();
+    stack.pop_back();
+    const Cell& c = cells[ci];
+    if (c.body_count == 0) continue;
+
+    if (ci == leaf_index) {
+      // The group interacts with itself directly.
+      for (std::uint32_t i = c.body_begin; i < c.body_begin + c.body_count; ++i)
+        lists.bodies.push_back(tree.order()[i]);
+      continue;
+    }
+
+    const double dist = norm(c.com - gc) - gr;  // worst-case sink distance
+    ++tally.mac_tests;
+    if (mac.accept(c, dist)) {
+      lists.cells.push_back(ci);
+      continue;
+    }
+    if (c.is_leaf()) {
+      for (std::uint32_t i = c.body_begin; i < c.body_begin + c.body_count; ++i)
+        lists.bodies.push_back(tree.order()[i]);
+      continue;
+    }
+    ++tally.cells_opened;
+    for (std::uint32_t k = 0; k < c.nchildren; ++k) stack.push_back(c.first_child + k);
+  }
+}
+
+std::vector<std::uint32_t> leaf_indices(const Tree& tree) {
+  std::vector<std::uint32_t> out;
+  const auto& cells = tree.cells();
+  for (std::uint32_t i = 0; i < cells.size(); ++i)
+    if (cells[i].is_leaf() && cells[i].body_count > 0) out.push_back(i);
+  return out;
+}
+
+}  // namespace hotlib::hot

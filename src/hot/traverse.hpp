@@ -1,0 +1,38 @@
+// traverse.hpp — kernel-agnostic tree traversal with interaction lists.
+//
+// "In the main stage of the algorithm, this tree is traversed independently
+// in each processor..." Sinks are processed a leaf bucket at a time: the
+// walk starts at the root and, for every cell, either accepts its multipole
+// (MAC passes for the whole sink group), opens it, or — for leaves — spills
+// its bodies onto the direct (particle-particle) list. The resulting lists
+// are evaluated by the application's kernel (gravity, vortex, ...), which is
+// where all counted flops happen.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hot/mac.hpp"
+#include "hot/tree.hpp"
+#include "util/counters.hpp"
+
+namespace hotlib::hot {
+
+struct InteractionLists {
+  // Indices into tree.cells() whose multipoles act on the whole sink group.
+  std::vector<std::uint32_t> cells;
+  // Original body indices interacting directly (includes the group's own
+  // members; evaluators skip the self term by index equality).
+  std::vector<std::uint32_t> bodies;
+};
+
+// Build interaction lists for the sink group `leaf_index` (must be a leaf
+// cell of `tree`). Appends to `lists` (call lists.cells.clear() between
+// groups); updates the traversal tally (MAC tests, opened cells).
+void build_interaction_lists(const Tree& tree, std::uint32_t leaf_index, const Mac& mac,
+                             InteractionLists& lists, InteractionTally& tally);
+
+// Enumerate the indices of all leaf cells (sink groups) of the tree.
+std::vector<std::uint32_t> leaf_indices(const Tree& tree);
+
+}  // namespace hotlib::hot

@@ -1,0 +1,211 @@
+#include "hot/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hotlib::hot {
+
+using morton::Key;
+
+void RawMoments::accumulate(const Vec3d& x, double m) {
+  mass += m;
+  weighted_pos += m * x;
+  second[0] += m * x.x * x.x;
+  second[1] += m * x.x * x.y;
+  second[2] += m * x.x * x.z;
+  second[3] += m * x.y * x.y;
+  second[4] += m * x.y * x.z;
+  second[5] += m * x.z * x.z;
+}
+
+RawMoments& RawMoments::operator+=(const RawMoments& o) {
+  mass += o.mass;
+  weighted_pos += o.weighted_pos;
+  for (int i = 0; i < 6; ++i) second[i] += o.second[i];
+  return *this;
+}
+
+void finalize_moments(const RawMoments& raw, double bmax_bound, Cell& out) {
+  out.mass = raw.mass;
+  out.com = raw.mass > 0 ? raw.weighted_pos / raw.mass : raw.weighted_pos;
+  const Vec3d& c = out.com;
+  // Second moment about the com: S_com = S_origin - m * c c^T.
+  std::array<double, 6> s = raw.second;
+  s[0] -= raw.mass * c.x * c.x;
+  s[1] -= raw.mass * c.x * c.y;
+  s[2] -= raw.mass * c.x * c.z;
+  s[3] -= raw.mass * c.y * c.y;
+  s[4] -= raw.mass * c.y * c.z;
+  s[5] -= raw.mass * c.z * c.z;
+  const double tr = s[0] + s[3] + s[5];
+  out.quad = {3 * s[0] - tr, 3 * s[1], 3 * s[2], 3 * s[3] - tr, 3 * s[4], 3 * s[5] - tr};
+  out.b2 = tr;
+  out.bmax = bmax_bound;
+}
+
+void Tree::build(std::span<const Vec3d> pos, std::span<const double> mass,
+                 const morton::Domain& domain, Config cfg) {
+  assert(pos.size() == mass.size());
+  domain_ = domain;
+  cells_.clear();
+  hash_.clear();
+  max_depth_ = 0;
+
+  const std::uint32_t n = static_cast<std::uint32_t>(pos.size());
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::vector<Key> raw_keys(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    raw_keys[i] = morton::key_from_position(pos[i], domain_);
+  std::sort(order_.begin(), order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return raw_keys[a] < raw_keys[b]; });
+  keys_.resize(n);
+  std::vector<Vec3d> sorted_pos(n);
+  std::vector<double> sorted_mass(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    keys_[i] = raw_keys[order_[i]];
+    sorted_pos[i] = pos[order_[i]];
+    sorted_mass[i] = mass[order_[i]];
+  }
+
+  cells_.reserve(n == 0 ? 1 : 2 * (n / std::max(1, cfg.bucket_size)) + 64);
+  Cell root;
+  root.key = morton::kRootKey;
+  root.body_begin = 0;
+  root.body_count = n;
+  cells_.push_back(root);
+  if (n > 0) build_range(0, 0, n, 0, sorted_pos, sorted_mass, cfg);
+
+  // Bottom-up moments: children are stored after their parent.
+  for (std::size_t i = cells_.size(); i-- > 0;)
+    compute_moments(static_cast<std::uint32_t>(i), sorted_pos, sorted_mass);
+
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    hash_.insert(cells_[i].key, static_cast<std::uint32_t>(i));
+}
+
+// Splits the already-created cell `ci` covering keys_[lo, hi) at `level`.
+std::uint32_t Tree::build_range(std::uint32_t ci, std::uint32_t lo, std::uint32_t hi,
+                                int level, const std::vector<Vec3d>& sorted_pos,
+                                const std::vector<double>& sorted_mass, Config cfg) {
+  const Key key = cells_[ci].key;
+  max_depth_ = std::max(max_depth_, level);
+
+  if (hi - lo <= static_cast<std::uint32_t>(cfg.bucket_size) || level >= morton::kMaxLevel)
+    return ci;  // leaf
+
+  // Partition [lo, hi) into the 8 octant sub-ranges using the 3-bit key
+  // digit at depth level+1. Keys are sorted, so each octant is contiguous.
+  const int shift = 3 * (morton::kMaxLevel - (level + 1));
+  auto digit = [&](Key k) { return static_cast<int>((k >> shift) & 7); };
+
+  std::array<std::uint32_t, 9> bound{};
+  bound[0] = lo;
+  for (int o = 0; o < 8; ++o) {
+    const auto first = keys_.begin() + bound[o];
+    const auto last = keys_.begin() + hi;
+    bound[o + 1] = static_cast<std::uint32_t>(
+        std::upper_bound(first, last, o, [&](int val, Key k) { return val < digit(k); }) -
+        keys_.begin());
+  }
+  assert(bound[8] == hi);
+
+  const std::uint32_t first_child = static_cast<std::uint32_t>(cells_.size());
+  std::uint32_t nchildren = 0;
+  for (int o = 0; o < 8; ++o) {
+    if (bound[o + 1] == bound[o]) continue;
+    Cell c;
+    c.key = morton::child(key, o);
+    c.body_begin = bound[o];
+    c.body_count = bound[o + 1] - bound[o];
+    cells_.push_back(c);
+    ++nchildren;
+  }
+  cells_[ci].first_child = first_child;
+  cells_[ci].nchildren = nchildren;
+
+  // Recurse after all siblings exist so they stay contiguous.
+  std::uint32_t j = first_child;
+  for (int o = 0; o < 8; ++o) {
+    if (bound[o + 1] == bound[o]) continue;
+    build_range(j, bound[o], bound[o + 1], level + 1, sorted_pos, sorted_mass, cfg);
+    ++j;
+  }
+  return ci;
+}
+
+void Tree::compute_moments(std::uint32_t ci, const std::vector<Vec3d>& sorted_pos,
+                           const std::vector<double>& sorted_mass) {
+  Cell& c = cells_[ci];
+  if (c.body_count == 0) {
+    c.mass = 0;
+    return;
+  }
+  if (c.is_leaf()) {
+    RawMoments raw;
+    for (std::uint32_t i = c.body_begin; i < c.body_begin + c.body_count; ++i)
+      raw.accumulate(sorted_pos[i], sorted_mass[i]);
+    double bmax = 0.0;
+    const Vec3d com = raw.mass > 0 ? raw.weighted_pos / raw.mass : raw.weighted_pos;
+    for (std::uint32_t i = c.body_begin; i < c.body_begin + c.body_count; ++i)
+      bmax = std::max(bmax, norm(sorted_pos[i] - com));
+    finalize_moments(raw, bmax, c);
+    return;
+  }
+  // Internal: combine children (already finalized — reverse-order pass).
+  double mass = 0;
+  Vec3d weighted{};
+  for (std::uint32_t k = 0; k < c.nchildren; ++k) {
+    const Cell& ch = cells_[c.first_child + k];
+    mass += ch.mass;
+    weighted += ch.mass * ch.com;
+  }
+  c.mass = mass;
+  c.com = mass > 0 ? weighted / mass : weighted;
+  c.quad = {};
+  c.b2 = 0;
+  c.bmax = 0;
+  for (std::uint32_t k = 0; k < c.nchildren; ++k) {
+    const Cell& ch = cells_[c.first_child + k];
+    const Vec3d d = ch.com - c.com;
+    const double d2 = norm2(d);
+    c.quad[0] += ch.quad[0] + ch.mass * (3 * d.x * d.x - d2);
+    c.quad[1] += ch.quad[1] + ch.mass * (3 * d.x * d.y);
+    c.quad[2] += ch.quad[2] + ch.mass * (3 * d.x * d.z);
+    c.quad[3] += ch.quad[3] + ch.mass * (3 * d.y * d.y - d2);
+    c.quad[4] += ch.quad[4] + ch.mass * (3 * d.y * d.z);
+    c.quad[5] += ch.quad[5] + ch.mass * (3 * d.z * d.z - d2);
+    c.b2 += ch.b2 + ch.mass * d2;
+    c.bmax = std::max(c.bmax, norm(d) + ch.bmax);
+  }
+}
+
+void Tree::find_within(const Vec3d& center, double radius,
+                       std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (cells_.empty() || cells_[0].body_count == 0) return;
+  const double r2 = radius * radius;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const Cell& c = cells_[stack.back()];
+    stack.pop_back();
+    const morton::CellBox b = box(c);
+    // Min distance from center to the cell cube.
+    double d2 = 0;
+    for (int a = 0; a < 3; ++a) {
+      const double excess = std::abs(center[a] - b.center[a]) - b.half;
+      if (excess > 0) d2 += excess * excess;
+    }
+    if (d2 > r2) continue;
+    if (c.is_leaf()) {
+      for (std::uint32_t i = c.body_begin; i < c.body_begin + c.body_count; ++i)
+        out.push_back(order_[i]);
+    } else {
+      for (std::uint32_t k = 0; k < c.nchildren; ++k) stack.push_back(c.first_child + k);
+    }
+  }
+}
+
+}  // namespace hotlib::hot

@@ -1,0 +1,64 @@
+#include "machine/prices.hpp"
+
+namespace hotlib::machine {
+
+std::vector<PriceLine> loki_parts_sept1996() {
+  // Verbatim from Table 1 of the paper.
+  return {
+      {16, 595, "Intel Pentium Pro 200 Mhz CPU/256k cache"},
+      {16, 15, "Heat Sink and Fan"},
+      {16, 295, "Intel VS440FX (Venus) motherboard"},
+      {64, 235, "8x36 60ns parity FPM SIMMS (128 Mb per node)"},
+      {16, 359, "Quantum Fireball 3240 Mbyte IDE Hard Drive"},
+      {16, 85, "D-Link DFE-500TX 100 Mb Fast Ethernet PCI Card"},
+      {16, 129, "SMC EtherPower 10/100 Fast Ethernet PCI Card"},
+      {16, 59, "S3 Trio-64 1Mb PCI Video Card"},
+      {16, 119, "ATX Case"},
+      {2, 4794, "3Com SuperStack II Switch 3000, 8-port Fast Ethernet"},
+      {1, 255, "Ethernet cables"},
+  };
+}
+
+std::vector<PriceLine> spot_prices_aug1997() {
+  // Verbatim from Table 2 of the paper (unit prices).
+  return {
+      {1, 220, "ASUS P/I-XP6NP5 motherboard"},
+      {1, 467, "Pentium Pro 200 MHz, 256k L2"},
+      {1, 204, "Pentium Pro 150 MHz, 256k L2"},
+      {1, 112, "SIMM FPM 8x36x60, 32 Mbyte"},
+      {1, 215, "Disk Quantum Fireball 3.2GB EIDE"},
+      {1, 53, "Fast Ethernet DFE-500TX 21140 PCI"},
+      {1, 150, "Misc. Case, Floppy, Heat Sink"},
+      {1, 2500, "BayStack 350T 16 port 10/100 Mbit switch"},
+  };
+}
+
+std::vector<PriceLine> system_aug1997() {
+  // 16 nodes at the Table 2 spot prices: 200 MHz CPUs, 128 MB (4 x 32 MB
+  // SIMMs) per node, one disk, one NIC, one switch.
+  return {
+      {16, 220, "ASUS P/I-XP6NP5 motherboard"},
+      {16, 467, "Pentium Pro 200 MHz, 256k L2"},
+      {64, 112, "SIMM FPM 8x36x60, 32 Mbyte (128 MB/node)"},
+      {16, 215, "Disk Quantum Fireball 3.2GB EIDE"},
+      {16, 53, "Fast Ethernet DFE-500TX 21140 PCI"},
+      {16, 150, "Misc. Case, Floppy, Heat Sink"},
+      {1, 2500, "BayStack 350T 16 port 10/100 Mbit switch"},
+  };
+}
+
+double total_price(const std::vector<PriceLine>& lines) {
+  double t = 0;
+  for (const auto& l : lines) t += l.extended();
+  return t;
+}
+
+double dollars_per_mflop(double system_cost_usd, double sustained_flops) {
+  return sustained_flops > 0 ? system_cost_usd / (sustained_flops / 1e6) : 0.0;
+}
+
+double gflops_per_million_dollars(double system_cost_usd, double sustained_flops) {
+  return system_cost_usd > 0 ? (sustained_flops / 1e9) / (system_cost_usd / 1e6) : 0.0;
+}
+
+}  // namespace hotlib::machine

@@ -1,0 +1,38 @@
+// prices.hpp — the paper's cost data: Table 1 (Loki parts list, September
+// 1996) and Table 2 (spot prices, August 1997), plus the price/performance
+// arithmetic of the Gordon Bell price/performance entry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hotlib::machine {
+
+struct PriceLine {
+  int quantity = 0;
+  double unit_price = 0.0;  // USD
+  std::string description;
+
+  double extended() const { return quantity * unit_price; }
+};
+
+// Table 1: Loki architecture and price (September 1996). Total $51,379.
+std::vector<PriceLine> loki_parts_sept1996();
+
+// Table 2: spot prices for August 1997.
+std::vector<PriceLine> spot_prices_aug1997();
+
+// A 16-processor system assembled from the August-1997 spot prices
+// ("A 16 processor 200Mhz-2 Gbyte memory-50 Gbyte disk system with BayStack
+// switch would be $28k").
+std::vector<PriceLine> system_aug1997();
+
+double total_price(const std::vector<PriceLine>& lines);
+
+// Price/performance in dollars per Mflop.
+double dollars_per_mflop(double system_cost_usd, double sustained_flops);
+
+// "Gflops per million dollars" (the paper quotes 21 for the SC'96 system).
+double gflops_per_million_dollars(double system_cost_usd, double sustained_flops);
+
+}  // namespace hotlib::machine

@@ -1,0 +1,86 @@
+#include "morton/hilbert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hotlib::morton {
+
+namespace {
+
+constexpr int kBits = kMaxLevel;  // 21 bits per axis
+
+// Skilling: axes -> transposed Hilbert representation (in place).
+void axes_to_transpose(std::uint32_t x[3]) {
+  const std::uint32_t m = 1u << (kBits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < 3; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < 3; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[2] & q) t ^= q - 1;
+  for (int i = 0; i < 3; ++i) x[i] ^= t;
+}
+
+// Skilling: transposed Hilbert representation -> axes (in place).
+void transpose_to_axes(std::uint32_t x[3]) {
+  const std::uint32_t m = 2u << (kBits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[2] >> 1;
+  for (int i = 2; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != m; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 2; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Key hilbert_from_coords(std::uint32_t xi, std::uint32_t yi, std::uint32_t zi) {
+  std::uint32_t x[3] = {xi & 0x1FFFFF, yi & 0x1FFFFF, zi & 0x1FFFFF};
+  axes_to_transpose(x);
+  // The transposed form holds the Hilbert index bit-interleaved across the
+  // three words, most significant first: exactly the Morton interleave.
+  return (Key{1} << 63) | (expand_bits(x[0]) << 2) | (expand_bits(x[1]) << 1) |
+         expand_bits(x[2]);
+}
+
+Coords coords_from_hilbert(Key k) {
+  std::uint32_t x[3] = {compact_bits(k >> 2), compact_bits(k >> 1), compact_bits(k)};
+  transpose_to_axes(x);
+  return {x[0], x[1], x[2]};
+}
+
+Key hilbert_from_position(const Vec3d& p, const Domain& d) {
+  const double scale = static_cast<double>(kCoordRange) / d.size;
+  auto to_lattice = [&](double v, double lo) {
+    const auto i = static_cast<std::int64_t>(std::floor((v - lo) * scale));
+    return static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(kCoordRange) - 1));
+  };
+  return hilbert_from_coords(to_lattice(p.x, d.lo.x), to_lattice(p.y, d.lo.y),
+                             to_lattice(p.z, d.lo.z));
+}
+
+}  // namespace hotlib::morton

@@ -1,0 +1,54 @@
+#include "morton/key.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hotlib::morton {
+
+Key key_from_position(const Vec3d& p, const Domain& d) {
+  const double scale = static_cast<double>(kCoordRange) / d.size;
+  auto to_lattice = [&](double x, double lo) {
+    const double u = (x - lo) * scale;
+    const auto i = static_cast<std::int64_t>(std::floor(u));
+    return static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(kCoordRange) - 1));
+  };
+  return key_from_coords(to_lattice(p.x, d.lo.x), to_lattice(p.y, d.lo.y),
+                         to_lattice(p.z, d.lo.z));
+}
+
+CellBox cell_box(Key k, const Domain& d) {
+  const int lv = level(k);
+  // Promote to a full-depth key of the cell's lower corner; the placeholder
+  // bit lands exactly on bit 63, mask it off before compacting coordinates.
+  const Key corner_key = k << (3 * (kMaxLevel - lv));
+  const Key payload = corner_key & ~(Key{1} << 63);
+  const Coords cc = {compact_bits(payload >> 2), compact_bits(payload >> 1),
+                     compact_bits(payload)};
+  const double cell = d.size / static_cast<double>(Key{1} << lv);
+  const double lattice = d.size / static_cast<double>(kCoordRange);
+  CellBox box;
+  box.half = cell * 0.5;
+  box.center = {d.lo.x + cc.x * lattice + box.half, d.lo.y + cc.y * lattice + box.half,
+                d.lo.z + cc.z * lattice + box.half};
+  return box;
+}
+
+Domain bounding_domain(const Vec3d* points, std::size_t n, double pad_fraction) {
+  if (n == 0) return {};
+  Vec3d lo = points[0], hi = points[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo.x = std::min(lo.x, points[i].x);
+    lo.y = std::min(lo.y, points[i].y);
+    lo.z = std::min(lo.z, points[i].z);
+    hi.x = std::max(hi.x, points[i].x);
+    hi.y = std::max(hi.y, points[i].y);
+    hi.z = std::max(hi.z, points[i].z);
+  }
+  double size = std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z});
+  if (size <= 0) size = 1.0;
+  const double pad = size * pad_fraction;
+  return {.lo = lo - Vec3d::all(pad), .size = size + 2 * pad + pad};
+}
+
+}  // namespace hotlib::morton

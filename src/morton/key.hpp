@@ -1,0 +1,145 @@
+// key.hpp — Morton (Z-order) key algebra for the hashed oct-tree.
+//
+// "In our implementation, we assign a Key to each particle, which is based on
+// Morton ordering. This maps the points in 3-dimensional space to a
+// 1-dimensional list, which maintains as much spatial locality as possible...
+// The Morton ordered key labeling scheme implicitly defines the topology of
+// the tree, and makes it possible to easily compute the key of a parent,
+// daughter, or boundary cell for a given key."
+//
+// Layout (Warren & Salmon 1993): a key is a 64-bit integer consisting of a
+// placeholder 1-bit followed by 3 bits per tree level. The root is key 1;
+// a particle key carries all kMaxLevel = 21 levels and has bit 63 set. The
+// placeholder makes keys self-describing: the position of the leading 1 bit
+// encodes the level, so every cell in the oct-tree has a unique integer name
+// usable across processor boundaries (the "global key name space").
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "util/vec3.hpp"
+
+namespace hotlib::morton {
+
+using Key = std::uint64_t;
+
+inline constexpr int kMaxLevel = 21;          // 3*21 = 63 payload bits
+inline constexpr Key kRootKey = 1;            // placeholder bit only
+inline constexpr std::uint32_t kCoordRange = 1u << kMaxLevel;
+
+// Spread the low 21 bits of v so consecutive bits land 3 apart
+// (…b2 b1 b0 -> …b2 0 0 b1 0 0 b0).
+constexpr std::uint64_t expand_bits(std::uint32_t v) {
+  std::uint64_t x = v & 0x1FFFFF;  // 21 bits
+  x = (x | (x << 32)) & 0x1F00000000FFFFULL;
+  x = (x | (x << 16)) & 0x1F0000FF0000FFULL;
+  x = (x | (x << 8)) & 0x100F00F00F00F00FULL;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+// Inverse of expand_bits.
+constexpr std::uint32_t compact_bits(std::uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x ^ (x >> 2)) & 0x10C30C30C30C30C3ULL;
+  x = (x ^ (x >> 4)) & 0x100F00F00F00F00FULL;
+  x = (x ^ (x >> 8)) & 0x1F0000FF0000FFULL;
+  x = (x ^ (x >> 16)) & 0x1F00000000FFFFULL;
+  x = (x ^ (x >> 32)) & 0x1FFFFFULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+// Full-depth particle key from integer lattice coordinates in [0, 2^21).
+constexpr Key key_from_coords(std::uint32_t ix, std::uint32_t iy, std::uint32_t iz) {
+  return (Key{1} << 63) | (expand_bits(ix) << 2) | (expand_bits(iy) << 1) |
+         expand_bits(iz);
+}
+
+struct Coords {
+  std::uint32_t x = 0, y = 0, z = 0;
+};
+
+// Lattice coordinates of a full-depth key.
+constexpr Coords coords_from_key(Key k) {
+  return {compact_bits(k >> 2), compact_bits(k >> 1), compact_bits(k)};
+}
+
+// Tree level encoded by the placeholder bit (root = 0, particles = 21).
+constexpr int level(Key k) {
+  assert(k != 0);
+  const int msb = 63 - std::countl_zero(k);
+  assert(msb % 3 == 0);
+  return msb / 3;
+}
+
+constexpr Key parent(Key k) {
+  assert(k > kRootKey);
+  return k >> 3;
+}
+
+// Octant of k within its parent (0..7).
+constexpr int octant(Key k) { return static_cast<int>(k & 7); }
+
+constexpr Key child(Key k, int oct) {
+  assert(oct >= 0 && oct < 8);
+  assert(level(k) < kMaxLevel);
+  return (k << 3) | static_cast<unsigned>(oct);
+}
+
+// Ancestor of k at level lv (lv <= level(k)).
+constexpr Key ancestor_at_level(Key k, int lv) {
+  const int drop = level(k) - lv;
+  assert(drop >= 0);
+  return k >> (3 * drop);
+}
+
+constexpr bool is_ancestor_of(Key a, Key b) {
+  const int la = level(a), lb = level(b);
+  return la <= lb && ancestor_at_level(b, la) == a;
+}
+
+// Deepest common ancestor of two keys.
+constexpr Key common_ancestor(Key a, Key b) {
+  int la = level(a), lb = level(b);
+  if (la > lb) a >>= 3 * (la - lb);
+  if (lb > la) b >>= 3 * (lb - la);
+  while (a != b) {
+    a >>= 3;
+    b >>= 3;
+  }
+  return a;
+}
+
+// ---- domain geometry -------------------------------------------------------
+
+// Cubical root domain; all keys refer to positions inside it.
+struct Domain {
+  Vec3d lo{0, 0, 0};
+  double size = 1.0;
+
+  bool contains(const Vec3d& p) const {
+    return p.x >= lo.x && p.x < lo.x + size && p.y >= lo.y && p.y < lo.y + size &&
+           p.z >= lo.z && p.z < lo.z + size;
+  }
+};
+
+// Axis-aligned cube of a tree cell.
+struct CellBox {
+  Vec3d center;
+  double half = 0.0;
+};
+
+// Full-depth key of a position (positions exactly on the upper boundary are
+// clamped into the last lattice cell).
+Key key_from_position(const Vec3d& p, const Domain& d);
+
+// Geometric cube of the cell named by `k` inside domain `d`.
+CellBox cell_box(Key k, const Domain& d);
+
+// Smallest cubical Domain (with margin) covering all of `points`.
+Domain bounding_domain(const Vec3d* points, std::size_t n, double pad_fraction = 1e-3);
+
+}  // namespace hotlib::morton

@@ -1,0 +1,500 @@
+#include "npb/adi.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hotlib::npb {
+
+namespace {
+
+constexpr double kLambda = 0.8;  // implicit diffusion number
+
+// ---- small dense 3x3 helpers for the BT block solves -----------------------
+
+using Mat3 = std::array<double, 9>;
+using Vec3a = std::array<double, 3>;
+
+Mat3 mat_identity() { return {1, 0, 0, 0, 1, 0, 0, 0, 1}; }
+
+Mat3 mat_mul(const Mat3& a, const Mat3& b) {
+  Mat3 c{};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      for (int k = 0; k < 3; ++k) c[3 * i + j] += a[3 * i + k] * b[3 * k + j];
+  return c;
+}
+
+Vec3a mat_vec(const Mat3& a, const Vec3a& x) {
+  Vec3a y{};
+  for (int i = 0; i < 3; ++i)
+    for (int k = 0; k < 3; ++k) y[i] += a[3 * i + k] * x[k];
+  return y;
+}
+
+Mat3 mat_scale(const Mat3& a, double s) {
+  Mat3 c = a;
+  for (double& v : c) v *= s;
+  return c;
+}
+
+Mat3 mat_sub(const Mat3& a, const Mat3& b) {
+  Mat3 c;
+  for (int i = 0; i < 9; ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+Mat3 mat_inverse(const Mat3& a) {
+  const double det = a[0] * (a[4] * a[8] - a[5] * a[7]) -
+                     a[1] * (a[3] * a[8] - a[5] * a[6]) +
+                     a[2] * (a[3] * a[7] - a[4] * a[6]);
+  const double inv = 1.0 / det;
+  return {(a[4] * a[8] - a[5] * a[7]) * inv, (a[2] * a[7] - a[1] * a[8]) * inv,
+          (a[1] * a[5] - a[2] * a[4]) * inv, (a[5] * a[6] - a[3] * a[8]) * inv,
+          (a[0] * a[8] - a[2] * a[6]) * inv, (a[2] * a[3] - a[0] * a[5]) * inv,
+          (a[3] * a[7] - a[4] * a[6]) * inv, (a[1] * a[6] - a[0] * a[7]) * inv,
+          (a[0] * a[4] - a[1] * a[3]) * inv};
+}
+
+// Constant inter-component coupling for BT: diagonally dominant, asymmetric.
+const Mat3 kCoupling{1.0, 0.2, 0.1, 0.1, 1.0, 0.2, 0.2, 0.1, 1.0};
+
+// ---- scalar tridiagonal (Thomas) -------------------------------------------
+// System: -lam u_{i-1} + (1+2 lam) u_i - lam u_{i+1} = rhs_i, Dirichlet.
+void solve_tridiag(std::vector<double>& x, int n, double lam) {
+  static thread_local std::vector<double> c, d;
+  c.assign(static_cast<std::size_t>(n), 0.0);
+  d.assign(static_cast<std::size_t>(n), 0.0);
+  const double b = 1.0 + 2.0 * lam, a = -lam;
+  double beta = b;
+  c[0] = a / beta;
+  d[0] = x[0] / beta;
+  for (int i = 1; i < n; ++i) {
+    beta = b - a * c[static_cast<std::size_t>(i - 1)];
+    c[static_cast<std::size_t>(i)] = a / beta;
+    d[static_cast<std::size_t>(i)] =
+        (x[static_cast<std::size_t>(i)] - a * d[static_cast<std::size_t>(i - 1)]) / beta;
+  }
+  x[static_cast<std::size_t>(n - 1)] = d[static_cast<std::size_t>(n - 1)];
+  for (int i = n - 2; i >= 0; --i)
+    x[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i)] -
+                                     c[static_cast<std::size_t>(i)] *
+                                         x[static_cast<std::size_t>(i + 1)];
+}
+
+// ---- scalar pentadiagonal --------------------------------------------------
+// Bands (e, a, b, a, e) from the 4th-order stencil of (I - lam D4):
+// D4 u ~ (-u_{i-2} + 16 u_{i-1} - 30 u_i + 16 u_{i+1} - u_{i+2}) / 12.
+struct PentaBands {
+  double e, a, b;
+};
+PentaBands penta_bands(double lam) {
+  return {lam / 12.0, -16.0 * lam / 12.0, 1.0 + 30.0 * lam / 12.0};
+}
+
+// In-place pentadiagonal solve (LU without pivoting; diagonally dominant).
+void solve_penta(std::vector<double>& x, int n, const PentaBands& bd) {
+  static thread_local std::vector<double> d, u1, u2;
+  d.assign(static_cast<std::size_t>(n), 0.0);
+  u1.assign(static_cast<std::size_t>(n), 0.0);
+  u2.assign(static_cast<std::size_t>(n), 0.0);
+  // Row i: e x_{i-2} + a x_{i-1} + b x_i + a x_{i+1} + e x_{i+2} = rhs.
+  // Forward elimination with two subdiagonals.
+  std::vector<double>& rhs = x;
+  static thread_local std::vector<double> l1, l2;
+  l1.assign(static_cast<std::size_t>(n), 0.0);
+  l2.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double diag = bd.b, low1 = bd.a, low2 = bd.e;
+    double up1 = (i + 1 < n) ? bd.a : 0.0, up2 = (i + 2 < n) ? bd.e : 0.0;
+    double r = rhs[static_cast<std::size_t>(i)];
+    if (i >= 1) {
+      // Eliminate the first subdiagonal with (reduced) row i-1.
+      const double f = low1 / d[static_cast<std::size_t>(i - 1)];
+      l1[static_cast<std::size_t>(i)] = f;
+      diag -= f * u1[static_cast<std::size_t>(i - 1)];
+      up1 -= f * u2[static_cast<std::size_t>(i - 1)];
+      r -= f * rhs[static_cast<std::size_t>(i - 1)];
+    }
+    if (i >= 2) {
+      const double f = low2 / d[static_cast<std::size_t>(i - 2)];
+      l2[static_cast<std::size_t>(i)] = f;
+      // Row i-2's u1 hits column i-1 (already eliminated above via the
+      // updated low1), its u2 hits column i.
+      diag -= f * u2[static_cast<std::size_t>(i - 2)];
+      r -= f * rhs[static_cast<std::size_t>(i - 2)];
+      // And the contribution to column i-1 must fold into the first
+      // elimination; handle by re-eliminating:
+      const double extra = -f * u1[static_cast<std::size_t>(i - 2)];
+      const double f2 = extra / d[static_cast<std::size_t>(i - 1)];
+      diag -= f2 * u1[static_cast<std::size_t>(i - 1)];
+      up1 -= f2 * u2[static_cast<std::size_t>(i - 1)];
+      r -= f2 * rhs[static_cast<std::size_t>(i - 1)];
+    }
+    d[static_cast<std::size_t>(i)] = diag;
+    u1[static_cast<std::size_t>(i)] = up1;
+    u2[static_cast<std::size_t>(i)] = up2;
+    rhs[static_cast<std::size_t>(i)] = r;
+  }
+  // Back substitution.
+  for (int i = n - 1; i >= 0; --i) {
+    double r = rhs[static_cast<std::size_t>(i)];
+    if (i + 1 < n) r -= u1[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i + 1)];
+    if (i + 2 < n) r -= u2[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i + 2)];
+    x[static_cast<std::size_t>(i)] = r / d[static_cast<std::size_t>(i)];
+  }
+}
+
+// Residual of the pentadiagonal system for verification.
+double penta_residual(const std::vector<double>& x, const std::vector<double>& rhs,
+                      int n, const PentaBands& bd) {
+  double num = 0, den = 0;
+  for (int i = 0; i < n; ++i) {
+    double ax = bd.b * x[static_cast<std::size_t>(i)];
+    if (i >= 1) ax += bd.a * x[static_cast<std::size_t>(i - 1)];
+    if (i >= 2) ax += bd.e * x[static_cast<std::size_t>(i - 2)];
+    if (i + 1 < n) ax += bd.a * x[static_cast<std::size_t>(i + 1)];
+    if (i + 2 < n) ax += bd.e * x[static_cast<std::size_t>(i + 2)];
+    num += (ax - rhs[static_cast<std::size_t>(i)]) * (ax - rhs[static_cast<std::size_t>(i)]);
+    den += rhs[static_cast<std::size_t>(i)] * rhs[static_cast<std::size_t>(i)];
+  }
+  return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
+// Block tridiagonal (3x3 blocks) Thomas; x holds n consecutive 3-vectors.
+void solve_block_tridiag(std::vector<double>& x, int n, double lam) {
+  static thread_local std::vector<Mat3> cprime;
+  static thread_local std::vector<Vec3a> dprime;
+  cprime.assign(static_cast<std::size_t>(n), Mat3{});
+  dprime.assign(static_cast<std::size_t>(n), Vec3a{});
+
+  const Mat3 off = mat_scale(kCoupling, -lam);  // -lam * B
+  const Mat3 diag =
+      mat_sub(mat_identity(), mat_scale(kCoupling, -2.0 * lam));  // I + 2 lam B
+
+  auto rhs_at = [&](int i) {
+    return Vec3a{x[static_cast<std::size_t>(3 * i)], x[static_cast<std::size_t>(3 * i + 1)],
+                 x[static_cast<std::size_t>(3 * i + 2)]};
+  };
+  auto store = [&](int i, const Vec3a& v) {
+    x[static_cast<std::size_t>(3 * i)] = v[0];
+    x[static_cast<std::size_t>(3 * i + 1)] = v[1];
+    x[static_cast<std::size_t>(3 * i + 2)] = v[2];
+  };
+
+  Mat3 beta_inv = mat_inverse(diag);
+  cprime[0] = mat_mul(beta_inv, off);
+  dprime[0] = mat_vec(beta_inv, rhs_at(0));
+  for (int i = 1; i < n; ++i) {
+    const Mat3 beta = mat_sub(diag, mat_mul(off, cprime[static_cast<std::size_t>(i - 1)]));
+    beta_inv = mat_inverse(beta);
+    cprime[static_cast<std::size_t>(i)] = mat_mul(beta_inv, off);
+    Vec3a r = rhs_at(i);
+    const Vec3a prev = mat_vec(off, dprime[static_cast<std::size_t>(i - 1)]);
+    for (int k = 0; k < 3; ++k) r[k] -= prev[k];
+    dprime[static_cast<std::size_t>(i)] = mat_vec(beta_inv, r);
+  }
+  store(n - 1, dprime[static_cast<std::size_t>(n - 1)]);
+  for (int i = n - 2; i >= 0; --i) {
+    const Vec3a nxt = mat_vec(cprime[static_cast<std::size_t>(i)], rhs_at(i + 1));
+    Vec3a v = dprime[static_cast<std::size_t>(i)];
+    for (int k = 0; k < 3; ++k) v[k] -= nxt[k];
+    store(i, v);
+  }
+}
+
+double block_tridiag_residual(const std::vector<double>& x,
+                              const std::vector<double>& rhs, int n, double lam) {
+  const Mat3 off = mat_scale(kCoupling, -lam);
+  const Mat3 diag = mat_sub(mat_identity(), mat_scale(kCoupling, -2.0 * lam));
+  double num = 0, den = 0;
+  for (int i = 0; i < n; ++i) {
+    Vec3a xi{x[static_cast<std::size_t>(3 * i)], x[static_cast<std::size_t>(3 * i + 1)],
+             x[static_cast<std::size_t>(3 * i + 2)]};
+    Vec3a ax = mat_vec(diag, xi);
+    if (i >= 1) {
+      Vec3a xm{x[static_cast<std::size_t>(3 * i - 3)], x[static_cast<std::size_t>(3 * i - 2)],
+               x[static_cast<std::size_t>(3 * i - 1)]};
+      const Vec3a t = mat_vec(off, xm);
+      for (int k = 0; k < 3; ++k) ax[k] += t[k];
+    }
+    if (i + 1 < n) {
+      Vec3a xp{x[static_cast<std::size_t>(3 * i + 3)], x[static_cast<std::size_t>(3 * i + 4)],
+               x[static_cast<std::size_t>(3 * i + 5)]};
+      const Vec3a t = mat_vec(off, xp);
+      for (int k = 0; k < 3; ++k) ax[k] += t[k];
+    }
+    for (int k = 0; k < 3; ++k) {
+      const double r = ax[k] - rhs[static_cast<std::size_t>(3 * i + k)];
+      num += r * r;
+      den += rhs[static_cast<std::size_t>(3 * i + k)] * rhs[static_cast<std::size_t>(3 * i + k)];
+    }
+  }
+  return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
+// ---- distributed field ------------------------------------------------------
+
+// z-slab field with `comp` components per point; layout [zl][y][x][comp].
+struct Field {
+  int n = 0, nz = 0, comp = 1;
+  std::vector<double> data;
+  std::size_t at(int z, int y, int x) const {
+    return ((static_cast<std::size_t>(z) * n + y) * n + x) * comp;
+  }
+};
+
+double global_norm(parc::Rank& rank, const Field& f) {
+  double s = 0;
+  for (double v : f.data) s += v * v;
+  return std::sqrt(rank.allreduce(s, parc::Sum{}));
+}
+
+// Transpose z-slabs <-> x-slabs: in[zl][y][x][c] -> out[xl][y][z][c].
+Field transpose_zx(parc::Rank& rank, const Field& in) {
+  const int p = rank.size();
+  const int chunk = in.n / p;
+  std::vector<std::vector<double>> out_bufs(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    auto& buf = out_bufs[static_cast<std::size_t>(d)];
+    buf.reserve(static_cast<std::size_t>(in.nz) * in.n * chunk * in.comp);
+    for (int zl = 0; zl < in.nz; ++zl)
+      for (int y = 0; y < in.n; ++y)
+        for (int x = d * chunk; x < (d + 1) * chunk; ++x)
+          for (int c = 0; c < in.comp; ++c)
+            buf.push_back(in.data[in.at(zl, y, x) + static_cast<std::size_t>(c)]);
+  }
+  auto in_bufs = rank.alltoallv_typed<double>(out_bufs);
+
+  Field out;
+  out.n = in.n;
+  out.nz = chunk;  // now "nz" counts local x planes
+  out.comp = in.comp;
+  out.data.assign(static_cast<std::size_t>(chunk) * in.n * in.n * in.comp, 0.0);
+  for (int src = 0; src < p; ++src) {
+    const auto& buf = in_bufs[static_cast<std::size_t>(src)];
+    std::size_t pos = 0;
+    const int z_base = src * in.nz;
+    for (int zl = 0; zl < in.nz; ++zl)
+      for (int y = 0; y < in.n; ++y)
+        for (int xl = 0; xl < chunk; ++xl)
+          for (int c = 0; c < in.comp; ++c) {
+            // out[xl][y][z_global][c]
+            out.data[((static_cast<std::size_t>(xl) * in.n + y) * in.n +
+                      (z_base + zl)) *
+                         in.comp +
+                     static_cast<std::size_t>(c)] = buf[pos++];
+          }
+  }
+  return out;
+}
+
+}  // namespace
+
+AdiResult run_adi(parc::Rank& rank, AdiVariant variant, int n, int steps) {
+  const int p = rank.size();
+  if (n % p != 0) throw std::invalid_argument("run_adi: n must be divisible by ranks");
+
+  const int comp = variant == AdiVariant::BT ? 3 : 1;
+  Field f;
+  f.n = n;
+  f.nz = n / p;
+  f.comp = comp;
+  f.data.assign(static_cast<std::size_t>(f.nz) * n * n * comp, 0.0);
+
+  // Smooth deterministic initial field.
+  {
+    const int z0 = rank.rank() * f.nz;
+    for (int zl = 0; zl < f.nz; ++zl)
+      for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n; ++x)
+          for (int c = 0; c < comp; ++c) {
+            const double fx = std::sin(2.0 * (x + 1) * (c + 1) / n);
+            const double fy = std::cos(3.0 * (y + 1) / n);
+            const double fz = std::sin(1.0 + 5.0 * (z0 + zl) / n);
+            f.data[f.at(zl, y, x) + static_cast<std::size_t>(c)] = fx * fy * fz;
+          }
+  }
+
+  const std::uint64_t bytes_before = rank.fabric().bytes_delivered();
+  AdiResult result;
+  result.steps = steps;
+  result.initial_norm = global_norm(rank, f);
+
+  const PentaBands bands = penta_bands(kLambda);
+  double worst = 0.0;
+  double ops = 0.0;
+
+  // Solve all lines along the x-index of a field in [*][y][x][c] layout.
+  auto solve_lines_x = [&](Field& g, bool check) {
+    std::vector<double> line(static_cast<std::size_t>(g.n) * g.comp);
+    std::vector<double> rhs_copy;
+    for (int zl = 0; zl < g.nz; ++zl)
+      for (int y = 0; y < g.n; ++y) {
+        for (int x = 0; x < g.n; ++x)
+          for (int c = 0; c < g.comp; ++c)
+            line[static_cast<std::size_t>(x) * g.comp + static_cast<std::size_t>(c)] =
+                g.data[g.at(zl, y, x) + static_cast<std::size_t>(c)];
+        if (check) rhs_copy = line;
+        if (variant == AdiVariant::BT) {
+          solve_block_tridiag(line, g.n, kLambda);
+          ops += 60.0 * g.n;
+          if (check)
+            worst = std::max(worst, block_tridiag_residual(line, rhs_copy, g.n, kLambda));
+        } else {
+          solve_penta(line, g.n, bands);
+          ops += 14.0 * g.n;
+          if (check) worst = std::max(worst, penta_residual(line, rhs_copy, g.n, bands));
+        }
+        for (int x = 0; x < g.n; ++x)
+          for (int c = 0; c < g.comp; ++c)
+            g.data[g.at(zl, y, x) + static_cast<std::size_t>(c)] =
+                line[static_cast<std::size_t>(x) * g.comp + static_cast<std::size_t>(c)];
+        check = false;  // sample the first line only
+      }
+  };
+
+  // Swap the roles of x and y in the local layout (pure local transpose).
+  auto transpose_xy_local = [&](Field& g) {
+    std::vector<double> tmp(g.data.size());
+    for (int zl = 0; zl < g.nz; ++zl)
+      for (int y = 0; y < g.n; ++y)
+        for (int x = 0; x < g.n; ++x)
+          for (int c = 0; c < g.comp; ++c)
+            tmp[g.at(zl, x, y) + static_cast<std::size_t>(c)] =
+                g.data[g.at(zl, y, x) + static_cast<std::size_t>(c)];
+    g.data = std::move(tmp);
+  };
+
+  if (variant == AdiVariant::LU) {
+    // SSOR with pipelined wavefront sweeps on (I - lam Laplacian) u = rhs.
+    const double omega = 1.2;
+    const double diag = 1.0 + 6.0 * kLambda;
+    for (int s = 0; s < steps; ++s) {
+      const std::vector<double> rhs = f.data;
+      // SSOR with red-black *plane* coloring: each half-sweep updates the
+      // planes of one global z-parity using Gauss-Seidel within the plane and
+      // the other color's values across planes. Every half-sweep exchanges
+      // one ghost plane with each neighbour (nearest-neighbour communication,
+      // the dominant pattern of the original pseudo-app), and the iteration
+      // is bitwise independent of the rank count. Enough iterations are run
+      // that the inner solve converges to the unique solution of
+      // (I - lam L) u = rhs, so the overall result is decomposition-
+      // independent to the solve tolerance.
+      const std::size_t plane = static_cast<std::size_t>(n) * n;
+      const int z0 = rank.rank() * f.nz;
+      for (int it = 0; it < 12; ++it) {
+        for (int color = 0; color < 2; ++color) {
+          // Exchange ghost planes (current u) with both neighbours.
+          std::vector<double> lower(plane, 0.0), upper(plane, 0.0);
+          if (p > 1) {
+            if (rank.rank() + 1 < p)
+              rank.send_span<double>(rank.rank() + 1, 700 + color,
+                                     {&f.data[f.at(f.nz - 1, 0, 0)], plane});
+            if (rank.rank() > 0)
+              rank.send_span<double>(rank.rank() - 1, 710 + color,
+                                     {&f.data[f.at(0, 0, 0)], plane});
+            if (rank.rank() > 0)
+              lower = rank.recv(rank.rank() - 1, 700 + color).as_vector<double>();
+            if (rank.rank() + 1 < p)
+              upper = rank.recv(rank.rank() + 1, 710 + color).as_vector<double>();
+          }
+          auto cell = [&](int z, int y, int x) -> double& {
+            return f.data[f.at(z, y, x)];
+          };
+          for (int zl = 0; zl < f.nz; ++zl) {
+            if (((z0 + zl) & 1) != color) continue;
+            for (int y = 0; y < n; ++y)
+              for (int x = 0; x < n; ++x) {
+                double nb = 0;
+                if (x > 0) nb += cell(zl, y, x - 1);
+                if (x + 1 < n) nb += cell(zl, y, x + 1);
+                if (y > 0) nb += cell(zl, y - 1, x);
+                if (y + 1 < n) nb += cell(zl, y + 1, x);
+                if (zl > 0)
+                  nb += cell(zl - 1, y, x);
+                else if (rank.rank() > 0)
+                  nb += lower[static_cast<std::size_t>(y) * n + x];
+                if (zl + 1 < f.nz)
+                  nb += cell(zl + 1, y, x);
+                else if (rank.rank() + 1 < p)
+                  nb += upper[static_cast<std::size_t>(y) * n + x];
+                const double gs = (rhs[f.at(zl, y, x)] + kLambda * nb) / diag;
+                cell(zl, y, x) = (1 - omega) * cell(zl, y, x) + omega * gs;
+              }
+            ops += 12.0 * static_cast<double>(n) * n;
+          }
+        }
+      }
+      // SSOR residual check: ||(I - lam L) u - rhs|| / ||rhs|| after the
+      // sweeps, with a proper two-sided halo exchange of u.
+      {
+        std::vector<double> lower(plane, 0.0), upper(plane, 0.0);
+        if (p > 1) {
+          if (rank.rank() + 1 < p)
+            rank.send_span<double>(rank.rank() + 1, 720,
+                                   {&f.data[f.at(f.nz - 1, 0, 0)], plane});
+          if (rank.rank() > 0)
+            rank.send_span<double>(rank.rank() - 1, 721, {&f.data[f.at(0, 0, 0)], plane});
+          if (rank.rank() > 0) lower = rank.recv(rank.rank() - 1, 720).as_vector<double>();
+          if (rank.rank() + 1 < p)
+            upper = rank.recv(rank.rank() + 1, 721).as_vector<double>();
+        }
+        double num = 0, den = 0;
+        for (int zl = 0; zl < f.nz; ++zl)
+          for (int y = 0; y < n; ++y)
+            for (int x = 0; x < n; ++x) {
+              double nb = 0;
+              if (x > 0) nb += f.data[f.at(zl, y, x - 1)];
+              if (x + 1 < n) nb += f.data[f.at(zl, y, x + 1)];
+              if (y > 0) nb += f.data[f.at(zl, y - 1, x)];
+              if (y + 1 < n) nb += f.data[f.at(zl, y + 1, x)];
+              if (zl > 0)
+                nb += f.data[f.at(zl - 1, y, x)];
+              else if (rank.rank() > 0)
+                nb += lower[static_cast<std::size_t>(y) * n + x];
+              if (zl + 1 < f.nz)
+                nb += f.data[f.at(zl + 1, y, x)];
+              else if (rank.rank() + 1 < p)
+                nb += upper[static_cast<std::size_t>(y) * n + x];
+              const double au = diag * f.data[f.at(zl, y, x)] - kLambda * nb;
+              const double res = au - rhs[f.at(zl, y, x)];
+              num += res * res;
+              den += rhs[f.at(zl, y, x)] * rhs[f.at(zl, y, x)];
+            }
+        num = rank.allreduce(num, parc::Sum{});
+        den = rank.allreduce(den, parc::Sum{});
+        worst = std::max(worst, den > 0 ? std::sqrt(num / den) : 0.0);
+      }
+    }
+  } else {
+    for (int s = 0; s < steps; ++s) {
+      const bool check = s == 0;
+      solve_lines_x(f, check);       // x lines
+      transpose_xy_local(f);
+      solve_lines_x(f, check);       // y lines
+      transpose_xy_local(f);
+      Field t = transpose_zx(rank, f);
+      solve_lines_x(t, check);       // z lines (now the fast index)
+      Field back = transpose_zx(rank, t);
+      f = std::move(back);
+    }
+  }
+
+  rank.charge_flops(ops);
+  result.ops = rank.allreduce(ops, parc::Sum{});
+  result.final_norm = global_norm(rank, f);
+  result.max_solve_residual = rank.allreduce(worst, parc::Max{});
+  result.comm_bytes =
+      static_cast<double>(rank.fabric().bytes_delivered() - bytes_before);
+  // Direct line solves (BT/SP) verify to roundoff; the iterative SSOR solve
+  // of LU verifies to its sweep-count-limited tolerance.
+  const double tol = variant == AdiVariant::LU ? 1e-4 : 1e-9;
+  result.verified =
+      result.final_norm < result.initial_norm && result.max_solve_residual < tol;
+  return result;
+}
+
+}  // namespace hotlib::npb

@@ -1,0 +1,150 @@
+#include "npb/cg.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hotlib::npb {
+
+namespace {
+
+// Deterministic sparse symmetric diagonally-dominant matrix. Every rank
+// builds the rows it owns; symmetry comes from generating each (i, j) pair
+// from the hash of the unordered pair, so both owners agree on the value.
+struct SparseRows {
+  int n = 0;
+  int row0 = 0;
+  std::vector<std::vector<std::pair<int, double>>> rows;  // (col, value)
+
+  void matvec(const std::vector<double>& x_full, std::vector<double>& y) const {
+    y.assign(rows.size(), 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      double acc = 0;
+      for (const auto& [c, v] : rows[r]) acc += v * x_full[static_cast<std::size_t>(c)];
+      y[r] = acc;
+    }
+  }
+  double nnz() const {
+    double t = 0;
+    for (const auto& r : rows) t += static_cast<double>(r.size());
+    return t;
+  }
+};
+
+SparseRows build_matrix(parc::Rank& rank, int n, int nnz_per_row) {
+  const int p = rank.size();
+  const int local_n = n / p;
+  SparseRows m;
+  m.n = n;
+  m.row0 = rank.rank() * local_n;
+  m.rows.resize(static_cast<std::size_t>(local_n));
+
+  // Off-diagonal pattern: for each row i, nnz_per_row pseudo-random partners
+  // j(i,k); include entry (i,j) and, by symmetry, (j,i). Each rank scans the
+  // whole pattern (O(n * nnz) integer work) and keeps entries whose row it
+  // owns — deterministic and identical across ranks.
+  std::vector<std::map<int, double>> acc(static_cast<std::size_t>(local_n));
+  auto add = [&](int i, int j, double v) {
+    if (i >= m.row0 && i < m.row0 + local_n)
+      acc[static_cast<std::size_t>(i - m.row0)][j] += v;
+  };
+  for (int i = 0; i < n; ++i) {
+    SplitMix64 h(static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL + 12345);
+    for (int k = 0; k < nnz_per_row; ++k) {
+      const int j = static_cast<int>(h.next() % static_cast<std::uint64_t>(n));
+      if (j == i) continue;
+      const double v =
+          -0.5 * (static_cast<double>(h.next() >> 11) * 0x1.0p-53);  // in (-0.5, 0]
+      add(i, j, v);
+      add(j, i, v);
+    }
+  }
+  // Diagonal: strict dominance => SPD.
+  for (int r = 0; r < local_n; ++r) {
+    double offsum = 0;
+    for (const auto& [c, v] : acc[static_cast<std::size_t>(r)]) offsum += std::fabs(v);
+    acc[static_cast<std::size_t>(r)][m.row0 + r] = offsum + 1.0;
+    m.rows[static_cast<std::size_t>(r)].assign(acc[static_cast<std::size_t>(r)].begin(),
+                                               acc[static_cast<std::size_t>(r)].end());
+  }
+  return m;
+}
+
+}  // namespace
+
+CgResult run_cg(parc::Rank& rank, int n, int nnz_per_row, int outer, int inner) {
+  const int p = rank.size();
+  if (n % p != 0) throw std::invalid_argument("run_cg: n must be divisible by ranks");
+  const int local_n = n / p;
+  const SparseRows a = build_matrix(rank, n, nnz_per_row);
+
+  const std::uint64_t bytes_before = rank.fabric().bytes_delivered();
+  CgResult result;
+
+  auto dot = [&](const std::vector<double>& x, const std::vector<double>& y) {
+    double d = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) d += x[i] * y[i];
+    result.ops += 2.0 * static_cast<double>(x.size()) * p;
+    return rank.allreduce(d, parc::Sum{});
+  };
+  auto gather = [&](const std::vector<double>& x_local) {
+    const auto blocks = rank.allgather_vector<double>(x_local);
+    std::vector<double> full;
+    full.reserve(static_cast<std::size_t>(n));
+    for (const auto& b : blocks) full.insert(full.end(), b.begin(), b.end());
+    return full;
+  };
+
+  std::vector<double> x(static_cast<std::size_t>(local_n), 1.0);
+  std::vector<double> z, r, pdir, q;
+  double zeta_prev = 0, zeta = 0;
+  double rnorm_final = 0;
+  bool converged = false;
+
+  for (int it = 0; it < outer; ++it) {
+    // CG solve A z = x.
+    z.assign(static_cast<std::size_t>(local_n), 0.0);
+    r = x;
+    pdir = r;
+    double rho = dot(r, r);
+    for (int cg = 0; cg < inner; ++cg) {
+      a.matvec(gather(pdir), q);
+      result.ops += 2.0 * a.nnz() * p;
+      rank.charge_flops(2.0 * a.nnz());
+      const double alpha = rho / dot(pdir, q);
+      for (int i = 0; i < local_n; ++i) {
+        z[static_cast<std::size_t>(i)] += alpha * pdir[static_cast<std::size_t>(i)];
+        r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+      }
+      result.ops += 4.0 * local_n * p;
+      const double rho_new = dot(r, r);
+      const double beta = rho_new / rho;
+      rho = rho_new;
+      for (int i = 0; i < local_n; ++i)
+        pdir[static_cast<std::size_t>(i)] =
+            r[static_cast<std::size_t>(i)] + beta * pdir[static_cast<std::size_t>(i)];
+      result.ops += 2.0 * local_n * p;
+    }
+    rnorm_final = std::sqrt(rho) / std::sqrt(dot(x, x));
+
+    // zeta = shift + 1 / (x . z), then x = z / ||z||.
+    const double xz = dot(x, z);
+    zeta_prev = zeta;
+    zeta = 1.0 + 1.0 / xz;
+    const double znorm = std::sqrt(dot(z, z));
+    for (int i = 0; i < local_n; ++i)
+      x[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] / znorm;
+    if (it == outer - 1)
+      converged = std::fabs(zeta - zeta_prev) < 1e-4 * std::fabs(zeta);
+  }
+
+  result.zeta = zeta;
+  result.final_residual = rnorm_final;
+  result.comm_bytes = static_cast<double>(rank.fabric().bytes_delivered() - bytes_before);
+  result.verified = converged && rnorm_final < 1e-3;
+  return result;
+}
+
+}  // namespace hotlib::npb

@@ -1,0 +1,42 @@
+// common.hpp — shared definitions for the mini NAS Parallel Benchmark suite.
+//
+// Table 3 and Table 4 / Figure 3 of the paper report NPB 2.2 Class B / A
+// results on Loki, ASCI Red and an SGI Origin. We implement structural
+// C++ reproductions of the kernels on the parc runtime (see DESIGN.md for
+// exactly which are bit-exact — EP — and which are reduced). Problem classes
+// are scaled so the whole suite runs in seconds on one core; the benchmark
+// harness maps measured operation counts through the simnet machine model to
+// regenerate the paper's tables.
+#pragma once
+
+#include <string>
+
+namespace hotlib::npb {
+
+enum class NpbClass { S, W, A };
+
+inline const char* class_name(NpbClass c) {
+  switch (c) {
+    case NpbClass::S: return "S";
+    case NpbClass::W: return "W";
+    case NpbClass::A: return "A";
+  }
+  return "?";
+}
+
+struct KernelResult {
+  std::string name;
+  NpbClass klass = NpbClass::S;
+  double ops = 0.0;           // counted floating-point (or key) operations
+  double seconds_real = 0.0;  // wall-clock on this host
+  double seconds_model = 0.0; // virtual time under the machine model (0 if unused)
+  double comm_bytes = 0.0;    // total message volume
+  bool verified = false;
+
+  double mops_real() const { return seconds_real > 0 ? ops / seconds_real / 1e6 : 0.0; }
+  double mops_model() const {
+    return seconds_model > 0 ? ops / seconds_model / 1e6 : 0.0;
+  }
+};
+
+}  // namespace hotlib::npb

@@ -1,0 +1,103 @@
+#include "npb/is.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hotlib::npb {
+
+IsResult run_is(parc::Rank& rank, int total_log2, int max_key_log2) {
+  const int p = rank.size();
+  const std::uint64_t total = std::uint64_t{1} << total_log2;
+  const std::uint32_t max_key = std::uint32_t{1} << max_key_log2;
+  const std::uint64_t local_n = total / static_cast<std::uint64_t>(p) +
+                                (static_cast<std::uint64_t>(rank.rank()) <
+                                         total % static_cast<std::uint64_t>(p)
+                                     ? 1
+                                     : 0);
+
+  // NPB key generation: k = max_key/4 * (u1 + u2 + u3 + u4). Each rank
+  // jumps the sequence to its own block (4 uniforms per key).
+  std::uint64_t first_key = rank.exscan(local_n, parc::Sum{}, std::uint64_t{0});
+  NpbLcg gen(314159265ULL);
+  gen.skip(4 * first_key);
+  std::vector<std::uint32_t> keys(local_n);
+  for (auto& k : keys) {
+    const double u = gen.next() + gen.next() + gen.next() + gen.next();
+    k = std::min<std::uint32_t>(static_cast<std::uint32_t>(u * (max_key / 4)),
+                                max_key - 1);
+  }
+
+  // Invariants for verification.
+  const std::uint64_t sum_before =
+      rank.allreduce(std::accumulate(keys.begin(), keys.end(), std::uint64_t{0}),
+                     parc::Sum{});
+
+  // Range buckets: bucket d owns keys in [d, d+1) * max_key / p.
+  const std::uint32_t bucket_width = (max_key + p - 1) / static_cast<std::uint32_t>(p);
+  std::vector<std::vector<std::uint32_t>> outgoing(static_cast<std::size_t>(p));
+  for (std::uint32_t k : keys)
+    outgoing[std::min<std::size_t>(k / bucket_width, static_cast<std::size_t>(p) - 1)]
+        .push_back(k);
+  double comm_bytes = 0;
+  for (int d = 0; d < p; ++d)
+    if (d != rank.rank())
+      comm_bytes += outgoing[static_cast<std::size_t>(d)].size() * sizeof(std::uint32_t);
+
+  auto incoming = rank.alltoallv_typed<std::uint32_t>(outgoing);
+
+  // Local counting sort over this rank's key range.
+  const std::uint32_t lo = bucket_width * static_cast<std::uint32_t>(rank.rank());
+  std::vector<std::uint32_t> hist(bucket_width, 0);
+  std::uint64_t local_count = 0;
+  for (const auto& block : incoming)
+    for (std::uint32_t k : block) {
+      ++hist[k - lo];
+      ++local_count;
+    }
+  std::vector<std::uint32_t> sorted;
+  sorted.reserve(local_count);
+  for (std::uint32_t v = 0; v < bucket_width; ++v)
+    sorted.insert(sorted.end(), hist[v], lo + v);
+
+  // ---- verification ----
+  bool ok = std::is_sorted(sorted.begin(), sorted.end());
+  // Rank boundaries ordered: my max <= right neighbour's min.
+  struct Edge {
+    std::uint32_t min_key, max_key;
+    std::uint8_t has;
+  };
+  const Edge mine{sorted.empty() ? 0u : sorted.front(),
+                  sorted.empty() ? 0u : sorted.back(),
+                  static_cast<std::uint8_t>(sorted.empty() ? 0 : 1)};
+  const auto edges = rank.allgather(mine);
+  std::uint32_t prev_max = 0;
+  bool prev_set = false;
+  for (const Edge& e : edges) {
+    if (e.has == 0) continue;
+    if (prev_set && e.min_key < prev_max) ok = false;
+    prev_max = e.max_key;
+    prev_set = true;
+  }
+  // Multiset conserved (count and sum).
+  const std::uint64_t count_after = rank.allreduce(local_count, parc::Sum{});
+  const std::uint64_t sum_after = rank.allreduce(
+      std::accumulate(sorted.begin(), sorted.end(), std::uint64_t{0}), parc::Sum{});
+  ok = ok && count_after == total && sum_after == sum_before;
+
+  // Model: charge one "op" per key, matching the NPB convention that IS
+  // Mops are keys ranked per second (the machine-model rate for IS is
+  // calibrated in the same unit).
+  rank.charge_flops(static_cast<double>(total) / p);
+
+  IsResult r;
+  r.total_keys = total;
+  r.verified = ok;
+  r.ops = static_cast<double>(total);  // NPB IS counts keys ranked
+  r.comm_bytes = rank.allreduce(comm_bytes, parc::Sum{});
+  return r;
+}
+
+}  // namespace hotlib::npb

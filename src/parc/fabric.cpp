@@ -1,0 +1,60 @@
+#include "parc/fabric.hpp"
+
+#include <atomic>
+
+namespace hotlib::parc {
+
+Fabric::Fabric(int nranks, NetworkParams net) : net_(net) {
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Fabric::deliver(int dst, Message msg) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(dst));
+  {
+    std::lock_guard lock(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message Fabric::recv(int me, int source, int tag) {
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
+  std::unique_lock lock(box.mu);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::optional<Message> Fabric::try_recv(int me, int source, int tag) {
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
+  std::lock_guard lock(box.mu);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t Fabric::pending(int me, int source, int tag) {
+  Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
+  std::lock_guard lock(box.mu);
+  std::size_t n = 0;
+  for (const auto& m : box.queue)
+    if (matches(m, source, tag)) ++n;
+  return n;
+}
+
+}  // namespace hotlib::parc

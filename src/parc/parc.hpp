@@ -1,0 +1,14 @@
+// parc.hpp — umbrella header for the parc message-passing runtime.
+//
+// parc ("PARallel Cluster") is hotlib's substitute for MPI on the paper's
+// machines: ranks are threads with mailboxes, collectives are built on
+// point-to-point messages, the ABM layer reproduces the paper's
+// "asynchronous batched messages", and a LogP-style virtual clock lets the
+// benchmark harnesses model the paper's networks (ASCI Red mesh, Loki/Hyglac
+// fast ethernet) without the hardware. See DESIGN.md, "Hardware substitution".
+#pragma once
+
+#include "parc/fabric.hpp"    // IWYU pragma: export
+#include "parc/message.hpp"   // IWYU pragma: export
+#include "parc/rank.hpp"      // IWYU pragma: export
+#include "parc/runtime.hpp"   // IWYU pragma: export

@@ -1,0 +1,181 @@
+#include "parc/rank.hpp"
+
+#include <cstring>
+
+namespace hotlib::parc {
+
+Rank::Rank(Fabric& fabric, int rank) : fabric_(fabric), rank_(rank) {
+  am_batches_.resize(static_cast<std::size_t>(fabric.size()));
+}
+
+void Rank::send(int dst, int tag, std::span<const std::uint8_t> payload) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("parc::send: bad destination");
+  vclock_ += fabric_.net().overhead_s;  // sender-side per-message CPU cost
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.depart_time = vclock_;
+  m.payload.assign(payload.begin(), payload.end());
+  fabric_.deliver(dst, std::move(m));
+}
+
+Message Rank::recv(int source, int tag) {
+  Message m = fabric_.recv(rank_, source, tag);
+  if (m.source != rank_) {
+    const double arrival = m.depart_time + fabric_.net().transfer_time(m.payload.size());
+    vclock_ = std::max(vclock_, arrival) + fabric_.net().overhead_s;
+  }
+  return m;
+}
+
+bool Rank::try_recv(Message& out, int source, int tag) {
+  auto m = fabric_.try_recv(rank_, source, tag);
+  if (!m) return false;
+  if (m->source != rank_) {
+    const double arrival = m->depart_time + fabric_.net().transfer_time(m->payload.size());
+    vclock_ = std::max(vclock_, arrival) + fabric_.net().overhead_s;
+  }
+  out = std::move(*m);
+  return true;
+}
+
+void Rank::barrier() {
+  // Dissemination barrier: log2(p) rounds of token exchange.
+  const int p = size();
+  if (p == 1) return;
+  const int seq = coll_seq_++ & 0xFFFFF;
+  int round = 0;
+  for (int k = 1; k < p; k <<= 1, ++round) {
+    const int tag = (1 << 30) | (seq << 4) | (round & 0xF);
+    const std::uint8_t token = 0;
+    send((rank_ + k) % p, tag, std::span<const std::uint8_t>(&token, 1));
+    (void)recv((rank_ - k + p) % p, tag);
+  }
+}
+
+Bytes Rank::broadcast_bytes(Bytes value, int root) {
+  const int p = size();
+  if (p == 1) return value;
+  const int me = relabel(rank_, root, p);
+  const int tag = next_collective_tag(0);
+  for (int k = 1; k < p; k <<= 1) {
+    if (me < k) {
+      if (me + k < p) send(unlabel(me + k, root, p), tag, value);
+    } else if (me < 2 * k) {
+      value = recv(unlabel(me - k, root, p), tag).payload;
+    }
+  }
+  return value;
+}
+
+std::vector<Bytes> Rank::allgather_bytes(Bytes mine) {
+  // Ring allgather: p-1 steps; block b originates at rank b and travels
+  // around the ring, so step s forwards block (me - s) mod p.
+  const int p = size();
+  std::vector<Bytes> blocks(static_cast<std::size_t>(p));
+  blocks[static_cast<std::size_t>(rank_)] = std::move(mine);
+  if (p == 1) return blocks;
+
+  const int seq = coll_seq_++ & 0xFFFFF;
+  const int right = (rank_ + 1) % p;
+  const int left = (rank_ - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int tag = (1 << 30) | (seq << 4) | 0x8;  // single slot; seq+source disambiguate
+    const int out_block = (rank_ - s + p) % p;
+    const int in_block = (rank_ - s - 1 + 2 * p) % p;
+    send(right, tag, blocks[static_cast<std::size_t>(out_block)]);
+    blocks[static_cast<std::size_t>(in_block)] = recv(left, tag).payload;
+  }
+  return blocks;
+}
+
+std::vector<Bytes> Rank::alltoallv(std::vector<Bytes> out) {
+  const int p = size();
+  if (static_cast<int>(out.size()) != p)
+    throw std::invalid_argument("parc::alltoallv: need one payload per rank");
+  const int tag = next_collective_tag(0);
+  std::vector<Bytes> in(static_cast<std::size_t>(p));
+  in[static_cast<std::size_t>(rank_)] = std::move(out[static_cast<std::size_t>(rank_)]);
+  for (int d = 0; d < p; ++d) {
+    if (d == rank_) continue;
+    send(d, tag, out[static_cast<std::size_t>(d)]);
+  }
+  for (int i = 0; i < p - 1; ++i) {
+    Message m = recv(kAnySource, tag);
+    in[static_cast<std::size_t>(m.source)] = std::move(m.payload);
+  }
+  return in;
+}
+
+int Rank::am_register(AmHandler handler) {
+  am_handlers_.push_back(std::move(handler));
+  return static_cast<int>(am_handlers_.size()) - 1;
+}
+
+void Rank::am_post(int dst, int handler, std::span<const std::uint8_t> payload) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("parc::am_post: bad destination");
+  if (handler < 0 || handler >= static_cast<int>(am_handlers_.size()))
+    throw std::out_of_range("parc::am_post: unregistered handler");
+  Bytes& buf = am_batches_[static_cast<std::size_t>(dst)];
+  const std::uint32_t h = static_cast<std::uint32_t>(handler);
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  const std::size_t pos = buf.size();
+  buf.resize(pos + sizeof(h) + sizeof(n) + payload.size());
+  std::memcpy(buf.data() + pos, &h, sizeof(h));
+  std::memcpy(buf.data() + pos + sizeof(h), &n, sizeof(n));
+  std::memcpy(buf.data() + pos + sizeof(h) + sizeof(n), payload.data(), payload.size());
+  ++am_posted_;
+  if (buf.size() >= am_batch_limit_) {
+    send(dst, kAmTag, buf);
+    buf.clear();
+  }
+}
+
+void Rank::am_flush() {
+  for (int d = 0; d < size(); ++d) {
+    Bytes& buf = am_batches_[static_cast<std::size_t>(d)];
+    if (!buf.empty()) {
+      send(d, kAmTag, buf);
+      buf.clear();
+    }
+  }
+}
+
+std::size_t Rank::am_poll() {
+  std::size_t dispatched = 0;
+  Message m;
+  while (try_recv(m, kAnySource, kAmTag)) {
+    std::size_t pos = 0;
+    while (pos + 8 <= m.payload.size()) {
+      std::uint32_t h = 0, n = 0;
+      std::memcpy(&h, m.payload.data() + pos, sizeof(h));
+      std::memcpy(&n, m.payload.data() + pos + 4, sizeof(n));
+      pos += 8;
+      std::span<const std::uint8_t> body(m.payload.data() + pos, n);
+      pos += n;
+      am_handlers_.at(h)(*this, m.source, body);
+      ++am_dispatched_;
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+void Rank::am_quiesce() {
+  struct Counts {
+    std::uint64_t posted;
+    std::uint64_t dispatched;
+    Counts operator+(const Counts& o) const {
+      return {posted + o.posted, dispatched + o.dispatched};
+    }
+  };
+  for (;;) {
+    am_flush();
+    while (am_poll() > 0) am_flush();
+    am_flush();
+    const Counts totals = allreduce(Counts{am_posted_, am_dispatched_}, Sum{});
+    if (totals.posted == totals.dispatched) return;
+  }
+}
+
+}  // namespace hotlib::parc

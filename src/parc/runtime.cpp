@@ -1,0 +1,43 @@
+#include "parc/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace hotlib::parc {
+
+RunStats Runtime::run(int nranks, const std::function<void(Rank&)>& body,
+                      NetworkParams net) {
+  if (nranks <= 0) throw std::invalid_argument("parc::Runtime: nranks must be positive");
+
+  Fabric fabric(nranks, net);
+  std::vector<double> clocks(static_cast<std::size_t>(nranks), 0.0);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Rank rank(fabric, r);
+      try {
+        body(rank);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      clocks[static_cast<std::size_t>(r)] = rank.vclock();
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunStats stats;
+  for (double c : clocks) stats.max_vclock = std::max(stats.max_vclock, c);
+  stats.messages = fabric.messages_delivered();
+  stats.bytes = fabric.bytes_delivered();
+  return stats;
+}
+
+}  // namespace hotlib::parc

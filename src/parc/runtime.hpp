@@ -1,0 +1,42 @@
+// runtime.hpp — spawning and joining a parc "machine".
+//
+// Runtime::run(nranks, body) plays the role of mpirun: it creates the mailbox
+// fabric, launches one std::thread per rank, executes `body(rank)` on each,
+// and propagates the first exception thrown by any rank. run_collect()
+// additionally gathers a per-rank result. The optional NetworkParams engage
+// the virtual-time machine model (see fabric.hpp).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parc/fabric.hpp"
+#include "parc/rank.hpp"
+
+namespace hotlib::parc {
+
+// Statistics of a completed run, for the benchmark harnesses.
+struct RunStats {
+  double max_vclock = 0.0;   // modelled makespan (seconds of virtual time)
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Runtime {
+ public:
+  // Execute body on nranks concurrent ranks; rethrows the first rank failure.
+  static RunStats run(int nranks, const std::function<void(Rank&)>& body,
+                      NetworkParams net = {});
+
+  // As run(), but collects body's return value per rank into `results`.
+  template <class T>
+  static RunStats run_collect(int nranks, const std::function<T(Rank&)>& body,
+                              std::vector<T>& results, NetworkParams net = {}) {
+    results.assign(static_cast<std::size_t>(nranks), T{});
+    return run(
+        nranks,
+        [&](Rank& r) { results[static_cast<std::size_t>(r.rank())] = body(r); }, net);
+  }
+};
+
+}  // namespace hotlib::parc

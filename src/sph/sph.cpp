@@ -1,0 +1,167 @@
+#include "sph/sph.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hotlib::sph {
+
+double kernel_w(double r, double h) {
+  const double q = r / h;
+  const double sigma = 1.0 / (std::numbers::pi * h * h * h);
+  if (q >= 2.0) return 0.0;
+  if (q >= 1.0) {
+    const double t = 2.0 - q;
+    return sigma * 0.25 * t * t * t;
+  }
+  return sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+}
+
+double kernel_dw(double r, double h) {
+  const double q = r / h;
+  const double sigma = 1.0 / (std::numbers::pi * h * h * h * h);
+  if (q >= 2.0) return 0.0;
+  if (q >= 1.0) {
+    const double t = 2.0 - q;
+    return -sigma * 0.75 * t * t;
+  }
+  return sigma * (-3.0 * q + 2.25 * q * q);
+}
+
+namespace {
+
+hot::Tree build_search_tree(const SphParticles& p) {
+  hot::Tree tree;
+  const morton::Domain domain = morton::bounding_domain(p.pos.data(), p.size(), 0.05);
+  tree.build(p.pos, p.mass, domain, {.bucket_size = 16});
+  return tree;
+}
+
+}  // namespace
+
+void compute_density(SphParticles& p, const SphConfig& cfg) {
+  const hot::Tree tree = build_search_tree(p);
+  std::vector<std::uint32_t> cand;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    tree.find_within(p.pos[i], 2.0 * p.h[i], cand);
+    double rho = 0;
+    for (std::uint32_t j : cand) {
+      const double r = norm(p.pos[i] - p.pos[j]);
+      rho += p.mass[j] * kernel_w(r, p.h[i]);
+    }
+    p.rho[i] = rho;
+    p.press[i] = (cfg.gamma - 1.0) * rho * p.u[i];
+  }
+}
+
+std::size_t compute_forces(SphParticles& p, const SphConfig& cfg) {
+  const hot::Tree tree = build_search_tree(p);
+  std::vector<std::uint32_t> cand;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.acc[i] = {};
+    p.du[i] = 0;
+  }
+  // The pair cutoff is 2*max(h_i, h_j); searching with the global max h
+  // keeps the candidate sets symmetric (exact Newton-pair antisymmetry, so
+  // momentum is conserved to roundoff even with varying smoothing lengths).
+  double hmax = 0;
+  for (double hi : p.h) hmax = std::max(hmax, hi);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    tree.find_within(p.pos[i], 2.0 * hmax, cand);
+    const double ci = std::sqrt(cfg.gamma * p.press[i] / p.rho[i]);
+    for (std::uint32_t j : cand) {
+      if (j == i) continue;
+      const Vec3d dx = p.pos[i] - p.pos[j];
+      const double r = norm(dx);
+      const double hm = 0.5 * (p.h[i] + p.h[j]);
+      if (r >= 2.0 * std::max(p.h[i], p.h[j]) || r == 0.0) continue;
+      ++pairs;
+      // Symmetrized gradient: mean of the two kernels.
+      const double dw = 0.5 * (kernel_dw(r, p.h[i]) + kernel_dw(r, p.h[j]));
+      const Vec3d grad = (dw / r) * dx;
+
+      // Monaghan artificial viscosity.
+      const Vec3d dv = p.vel[i] - p.vel[j];
+      const double vdotx = dot(dv, dx);
+      double visc = 0.0;
+      if (vdotx < 0) {
+        const double cj = std::sqrt(cfg.gamma * p.press[j] / p.rho[j]);
+        const double mu = hm * vdotx / (r * r + cfg.eta_visc * hm * hm);
+        const double cmean = 0.5 * (ci + cj);
+        const double rhomean = 0.5 * (p.rho[i] + p.rho[j]);
+        visc = (-cfg.alpha_visc * cmean * mu + cfg.beta_visc * mu * mu) / rhomean;
+      }
+
+      const double pterm = p.press[i] / (p.rho[i] * p.rho[i]) +
+                           p.press[j] / (p.rho[j] * p.rho[j]) + visc;
+      p.acc[i] -= (p.mass[j] * pterm) * grad;
+      p.du[i] += 0.5 * p.mass[j] * pterm * dot(dv, grad);
+    }
+  }
+  return pairs;
+}
+
+void step(SphParticles& p, double dt, const SphConfig& cfg) {
+  compute_density(p, cfg);
+  compute_forces(p, cfg);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.vel[i] += (0.5 * dt) * p.acc[i];
+    p.u[i] += 0.5 * dt * p.du[i];
+    p.pos[i] += dt * p.vel[i];
+  }
+  compute_density(p, cfg);
+  compute_forces(p, cfg);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.vel[i] += (0.5 * dt) * p.acc[i];
+    p.u[i] += 0.5 * dt * p.du[i];
+  }
+}
+
+SphParticles make_sod_tube(int nx_left, double length, double width) {
+  SphParticles p;
+  const double gamma = 5.0 / 3.0;
+  // Equal-mass particles: the right (low-density) side uses 2x spacing.
+  const double dx_l = 0.5 * length / nx_left;
+  const double dx_r = dx_l * 2.0;  // rho ratio 8 in 3-D lattice terms
+  const int ny = std::max(2, static_cast<int>(width / dx_l));
+
+  auto add_lattice = [&](double x0, double x1, double dx, double rho, double press) {
+    const double m = rho * dx * dx * dx;
+    for (double x = x0 + dx / 2; x < x1; x += dx)
+      for (int iy = 0; iy < ny; ++iy)
+        for (int iz = 0; iz < ny; ++iz) {
+          // Keep the transverse lattice pitch equal to dx so the local
+          // density is isotropic.
+          const double y = (iy + 0.5) * dx;
+          const double z = (iz + 0.5) * dx;
+          if (y >= width || z >= width) continue;
+          p.pos.push_back({x, y, z});
+          p.vel.push_back({});
+          p.acc.push_back({});
+          p.mass.push_back(m);
+          p.h.push_back(1.3 * dx);
+          p.rho.push_back(rho);
+          p.press.push_back(press);
+          p.u.push_back(press / ((gamma - 1.0) * rho));
+          p.du.push_back(0.0);
+        }
+  };
+  add_lattice(0.0, 0.5 * length, dx_l, 1.0, 1.0);
+  add_lattice(0.5 * length, length, dx_r, 0.125, 0.1);
+  return p;
+}
+
+double total_energy(const SphParticles& p) {
+  double e = 0;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    e += p.mass[i] * (0.5 * norm2(p.vel[i]) + p.u[i]);
+  return e;
+}
+
+Vec3d total_momentum(const SphParticles& p) {
+  Vec3d mom{};
+  for (std::size_t i = 0; i < p.size(); ++i) mom += p.mass[i] * p.vel[i];
+  return mom;
+}
+
+}  // namespace hotlib::sph

@@ -1,0 +1,44 @@
+#include "util/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace hotlib {
+
+bool PgmImage::write(const std::string& path) const { return write_scaled(path, false); }
+bool PgmImage::write_log(const std::string& path) const { return write_scaled(path, true); }
+
+bool PgmImage::write_scaled(const std::string& path, bool log_scale) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  std::vector<double> scaled(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    scaled[i] = log_scale ? std::log1p(std::max(0.0, data_[i])) : data_[i];
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : scaled) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+
+  std::fprintf(f, "P5\n%zu %zu\n255\n", width_, height_);
+  std::vector<unsigned char> row(width_);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      const double v = (scaled[y * width_ + x] - lo) / span;
+      row[x] = static_cast<unsigned char>(std::lround(255.0 * std::clamp(v, 0.0, 1.0)));
+    }
+    if (std::fwrite(row.data(), 1, width_, f) != width_) {
+      std::fclose(f);
+      return false;
+    }
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace hotlib

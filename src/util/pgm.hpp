@@ -1,0 +1,45 @@
+// pgm.hpp — grayscale image output for the projected-density figures.
+//
+// The paper's Figures 1 and 2 are log projected-density images of the
+// cosmology runs; cosmo::project_density + PgmImage::write_log regenerate
+// that visualization (as portable graymaps rather than GIFs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hotlib {
+
+class PgmImage {
+ public:
+  PgmImage(std::size_t width, std::size_t height)
+      : width_(width), height_(height), data_(width * height, 0.0) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  double& at(std::size_t x, std::size_t y) { return data_[y * width_ + x]; }
+  double at(std::size_t x, std::size_t y) const { return data_[y * width_ + x]; }
+
+  void deposit(std::size_t x, std::size_t y, double w) {
+    if (x < width_ && y < height_) data_[y * width_ + x] += w;
+  }
+
+  // Write 8-bit PGM with linear mapping of [min,max] of the raw data.
+  bool write(const std::string& path) const;
+
+  // Write with logarithmic scaling (pixel = log(1 + v)), the mapping the
+  // paper uses ("the color of each pixel represents the logarithm of the
+  // projected particle density").
+  bool write_log(const std::string& path) const;
+
+ private:
+  bool write_scaled(const std::string& path, bool log_scale) const;
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<double> data_;
+};
+
+}  // namespace hotlib

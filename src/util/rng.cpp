@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hotlib {
+
+double Xoshiro256ss::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * f;
+  has_cached_ = true;
+  return u * f;
+}
+
+Vec3d Xoshiro256ss::in_sphere(double radius) {
+  for (;;) {
+    Vec3d p{uniform(-1.0, 1.0), uniform(-1.0, 1.0), uniform(-1.0, 1.0)};
+    if (norm2(p) <= 1.0) return p * radius;
+  }
+}
+
+}  // namespace hotlib

@@ -1,0 +1,135 @@
+// rng.hpp — deterministic random number generation for hotlib.
+//
+// Two families:
+//   * SplitMix64 / Xoshiro256ss — fast general-purpose generators used for
+//     particle initial conditions and property tests; fully deterministic from
+//     a 64-bit seed so every test and benchmark is reproducible.
+//   * NpbLcg — the exact linear congruential generator specified by the NAS
+//     Parallel Benchmarks (x_{k+1} = a x_k mod 2^46, a = 5^13), required for
+//     the bit-exact EP kernel and the IS key sequence.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/vec3.hpp"
+
+namespace hotlib {
+
+// SplitMix64: tiny, passes statistical tests, used to seed larger generators.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** by Blackman & Vigna; our workhorse PRNG.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Standard normal via Marsaglia polar method (cached pair).
+  double normal();
+
+  // Uniform point in the unit cube / in a sphere of given radius.
+  Vec3d in_cube() { return {uniform(), uniform(), uniform()}; }
+  Vec3d in_sphere(double radius);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_ = false;
+};
+
+// The NAS Parallel Benchmarks pseudorandom generator ("randlc"):
+//   x_{k+1} = a * x_k mod 2^46, uniform value x_k * 2^-46.
+// Implemented with 64-bit integer arithmetic; matches the Fortran original
+// bit-for-bit (verified by the EP class-S checksums in the test suite).
+class NpbLcg {
+ public:
+  static constexpr std::uint64_t kModMask = (1ULL << 46) - 1;
+  static constexpr std::uint64_t kDefaultA = 1220703125ULL;  // 5^13
+
+  explicit constexpr NpbLcg(std::uint64_t seed = 314159265ULL,
+                            std::uint64_t a = kDefaultA)
+      : x_(seed & kModMask), a_(a & kModMask) {}
+
+  // Advance once and return uniform in (0,1).
+  double next() {
+    x_ = mulmod46(a_, x_);
+    return static_cast<double>(x_) * 0x1.0p-46;
+  }
+
+  std::uint64_t raw() const { return x_; }
+
+  // Jump the sequence ahead by n steps in O(log n): x <- a^n * x mod 2^46.
+  void skip(std::uint64_t n) {
+    std::uint64_t an = powmod46(a_, n);
+    x_ = mulmod46(an, x_);
+  }
+
+  // a^n mod 2^46 — exposed for the EP kernel's per-block seeding.
+  static constexpr std::uint64_t powmod46(std::uint64_t a, std::uint64_t n) {
+    std::uint64_t result = 1, base = a & kModMask;
+    while (n != 0) {
+      if (n & 1) result = mulmod46(result, base);
+      base = mulmod46(base, base);
+      n >>= 1;
+    }
+    return result;
+  }
+
+  static constexpr std::uint64_t mulmod46(std::uint64_t a, std::uint64_t b) {
+    // 46-bit operands: split a into 23-bit halves so products fit in 64 bits.
+    std::uint64_t a_lo = a & ((1ULL << 23) - 1);
+    std::uint64_t a_hi = a >> 23;
+    std::uint64_t lo = a_lo * b;
+    std::uint64_t hi = (a_hi * b) << 23;  // overflow above 2^46 is discarded by mask
+    return (lo + hi) & kModMask;
+  }
+
+ private:
+  std::uint64_t x_;
+  std::uint64_t a_;
+};
+
+}  // namespace hotlib

@@ -1,0 +1,57 @@
+// stats.hpp — streaming summary statistics (Welford) used by diagnostics,
+// force-accuracy measurements and the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace hotlib {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    sum_sq_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  // Root-mean-square of the samples themselves (not deviation from mean) —
+  // this is the "RMS force error" statistic the paper quotes.
+  double rms() const { return n_ > 0 ? std::sqrt(sum_sq_ / static_cast<double>(n_)) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  RunningStats& merge(const RunningStats& o) {
+    if (o.n_ == 0) return *this;
+    if (n_ == 0) { *this = o; return *this; }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) + o.mean_ * static_cast<double>(o.n_)) / total;
+    sum_sq_ += o.sum_sq_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ += o.n_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hotlib

@@ -1,0 +1,34 @@
+// table.hpp — fixed-width text table printer used by the benchmark harnesses
+// to regenerate the paper's tables in a readable form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hotlib {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Append a row; each cell is already formatted. Rows shorter than the
+  // header are padded with empty cells, longer rows are an error.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience for mixed numeric rows.
+  static std::string num(double v, int precision = 1);
+  static std::string integer(long long v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hotlib

@@ -1,0 +1,46 @@
+// timer.hpp — wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace hotlib {
+
+// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulating timer for phase breakdowns (tree build / traversal / comm ...).
+class PhaseTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      ++count_;
+      running_ = false;
+    }
+  }
+  double total_seconds() const { return total_; }
+  long invocations() const { return count_; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  long count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace hotlib

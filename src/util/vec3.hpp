@@ -1,0 +1,57 @@
+// vec3.hpp — minimal 3-component vector used throughout hotlib.
+//
+// Particle state is stored structure-of-arrays in hot paths; Vec3 is the
+// convenience value type for geometry, diagnostics and non-critical code.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace hotlib {
+
+template <class T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T xx, T yy, T zz) : x(xx), y(yy), z(zz) {}
+  static constexpr Vec3 all(T v) { return {v, v, v}; }
+
+  constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3& operator/=(T s) { x /= s; y /= s; z /= s; return *this; }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return a *= s; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, T s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  friend constexpr T dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  }
+  friend constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+  }
+  friend T norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+  friend constexpr T norm2(const Vec3& a) { return dot(a, a); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+using Vec3d = Vec3<double>;
+using Vec3f = Vec3<float>;
+
+}  // namespace hotlib

@@ -1,0 +1,62 @@
+#include "vortex/remesh.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace hotlib::vortex {
+
+double m4prime(double x) {
+  x = std::abs(x);
+  if (x >= 2.0) return 0.0;
+  if (x >= 1.0) return 0.5 * (2.0 - x) * (2.0 - x) * (1.0 - x);
+  return 1.0 - 2.5 * x * x + 1.5 * x * x * x;
+}
+
+VortexParticles remesh(const VortexParticles& p, const RemeshConfig& cfg) {
+  VortexParticles out;
+  out.sigma = p.sigma;
+  if (p.size() == 0) return out;
+
+  const double h = cfg.spacing > 0 ? cfg.spacing : p.sigma / cfg.overlap;
+
+  // Deposit onto a sparse lattice keyed by integer node coordinates.
+  struct NodeHash {
+    std::size_t operator()(const std::array<long, 3>& k) const {
+      std::size_t h1 = std::hash<long>{}(k[0]);
+      std::size_t h2 = std::hash<long>{}(k[1]);
+      std::size_t h3 = std::hash<long>{}(k[2]);
+      return h1 ^ (h2 * 0x9E3779B97F4A7C15ULL) ^ (h3 * 0xC2B2AE3D27D4EB4FULL);
+    }
+  };
+  std::unordered_map<std::array<long, 3>, Vec3d, NodeHash> lattice;
+  lattice.reserve(p.size() * 4);
+
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Vec3d& x = p.pos[i];
+    const long ix = static_cast<long>(std::floor(x.x / h));
+    const long iy = static_cast<long>(std::floor(x.y / h));
+    const long iz = static_cast<long>(std::floor(x.z / h));
+    for (long dz = -1; dz <= 2; ++dz)
+      for (long dy = -1; dy <= 2; ++dy)
+        for (long dx = -1; dx <= 2; ++dx) {
+          const std::array<long, 3> node{ix + dx, iy + dy, iz + dz};
+          const double wx = m4prime((x.x - node[0] * h) / h);
+          const double wy = m4prime((x.y - node[1] * h) / h);
+          const double wz = m4prime((x.z - node[2] * h) / h);
+          const double w = wx * wy * wz;
+          if (w != 0.0) lattice[node] += w * p.alpha[i];
+        }
+  }
+
+  const double threshold = cfg.keep_fraction * p.max_strength();
+  for (const auto& [node, a] : lattice) {
+    if (norm(a) <= threshold) continue;
+    out.pos.push_back({node[0] * h, node[1] * h, node[2] * h});
+    out.alpha.push_back(a);
+    out.vel.push_back({});
+    out.dalpha.push_back({});
+  }
+  return out;
+}
+
+}  // namespace hotlib::vortex

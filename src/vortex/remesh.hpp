@@ -1,0 +1,29 @@
+// remesh.hpp — particle remeshing for the vortex method.
+//
+// "During the computation, the particles are occasionally 'remeshed' in
+// order to satisfy the core-overlap condition. This creates additional
+// particles, so that by the end of the 340 timestep simulation, there were
+// 360,000 vortex particles." We interpolate particle strengths onto a
+// regular lattice with the M4' (Monaghan) kernel — which conserves total
+// strength exactly (partition of unity) and linear impulse to second order —
+// and re-create particles at lattice nodes carrying non-negligible strength.
+#pragma once
+
+#include "vortex/vpm.hpp"
+
+namespace hotlib::vortex {
+
+struct RemeshConfig {
+  double spacing = 0.0;          // lattice spacing h; 0 => sigma / overlap
+  double overlap = 1.5;          // target sigma / h
+  double keep_fraction = 1e-4;   // drop nodes below keep_fraction * max |alpha|
+};
+
+// M4' interpolation weight for normalized distance x = |dx| / h.
+double m4prime(double x);
+
+// Remesh onto a lattice covering the particles; returns the new set (same
+// sigma). Typically grows the particle count, as in the paper's run.
+VortexParticles remesh(const VortexParticles& p, const RemeshConfig& cfg = {});
+
+}  // namespace hotlib::vortex

@@ -1,0 +1,170 @@
+#include "vortex/vpm.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "gravity/kernels.hpp"
+#include "hot/traverse.hpp"
+
+namespace hotlib::vortex {
+
+namespace {
+constexpr double kQuarterInvPi = 1.0 / (4.0 * std::numbers::pi);
+}
+
+Vec3d VortexParticles::total_strength() const {
+  Vec3d s{};
+  for (const auto& a : alpha) s += a;
+  return s;
+}
+
+Vec3d VortexParticles::linear_impulse() const {
+  Vec3d imp{};
+  for (std::size_t i = 0; i < size(); ++i) imp += 0.5 * cross(pos[i], alpha[i]);
+  return imp;
+}
+
+double VortexParticles::max_strength() const {
+  double m = 0;
+  for (const auto& a : alpha) m = std::max(m, norm(a));
+  return m;
+}
+
+void vortex_kernel(const Vec3d& xi, const Vec3d& xj, const Vec3d& alpha_j,
+                   double sigma2, Vec3d& u, const Vec3d* alpha_i, Vec3d* dalpha) {
+  const Vec3d d = xi - xj;
+  const double r2 = norm2(d) + sigma2;
+  const double rinv = gravity::karp_rsqrt(r2);
+  const double s = rinv * rinv * rinv;   // (r^2+sigma^2)^{-3/2}
+  const double t = s * rinv * rinv;      // (r^2+sigma^2)^{-5/2}
+  const Vec3d dxa = cross(d, alpha_j);
+  u += (-kQuarterInvPi * s) * dxa;
+  if (alpha_i != nullptr && dalpha != nullptr) {
+    // (alpha_i . grad) u, classical stretching with the analytic gradient:
+    //   -1/(4pi) [ s (alpha_i x alpha_j) - 3 t (d.alpha_i) (d x alpha_j) ].
+    *dalpha += (-kQuarterInvPi) *
+               (s * cross(*alpha_i, alpha_j) - (3.0 * t * dot(d, *alpha_i)) * dxa);
+  }
+}
+
+InteractionTally direct_velocities(VortexParticles& p) {
+  InteractionTally tally;
+  const double sigma2 = p.sigma * p.sigma;
+  const std::size_t n = p.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3d u{}, da{};
+    for (std::size_t j = 0; j < n; ++j)
+      vortex_kernel(p.pos[i], p.pos[j], p.alpha[j], sigma2, u, &p.alpha[i], &da);
+    // Self term vanishes identically (d = 0, alpha_i x alpha_i = 0).
+    p.vel[i] = u;
+    p.dalpha[i] = da;
+    tally.body_body += n;
+  }
+  return tally;
+}
+
+InteractionTally tree_velocities(VortexParticles& p, const hot::Mac& mac,
+                                 int bucket_size) {
+  InteractionTally tally;
+  const std::size_t n = p.size();
+  if (n == 0) return tally;
+  const double sigma2 = p.sigma * p.sigma;
+
+  // Build the tree weighted by |alpha| so cell centroids and MAC moments
+  // reflect vorticity, not particle count.
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) weight[i] = norm(p.alpha[i]) + 1e-300;
+  const morton::Domain domain = morton::bounding_domain(p.pos.data(), n, 0.05);
+  hot::Tree tree;
+  tree.build(p.pos, weight, domain, {.bucket_size = bucket_size});
+
+  // Per-cell vector strength (the vector monopole), children before parents.
+  std::vector<Vec3d> cell_alpha(tree.cells().size());
+  tree.postorder([&](const hot::Cell& c, std::uint32_t ci) {
+    Vec3d a{};
+    if (c.is_leaf()) {
+      for (std::uint32_t t = c.body_begin; t < c.body_begin + c.body_count; ++t)
+        a += p.alpha[tree.order()[t]];
+    } else {
+      for (std::uint32_t k = 0; k < c.nchildren; ++k)
+        a += cell_alpha[c.first_child + k];
+    }
+    cell_alpha[ci] = a;
+  });
+
+  hot::InteractionLists lists;
+  for (std::uint32_t li : hot::leaf_indices(tree)) {
+    hot::build_interaction_lists(tree, li, mac, lists, tally);
+    const hot::Cell& group = tree.cells()[li];
+    for (std::uint32_t t = group.body_begin; t < group.body_begin + group.body_count;
+         ++t) {
+      const std::uint32_t i = tree.order()[t];
+      Vec3d u{}, da{};
+      for (std::uint32_t j : lists.bodies)
+        vortex_kernel(p.pos[i], p.pos[j], p.alpha[j], sigma2, u, &p.alpha[i], &da);
+      for (std::uint32_t ci : lists.cells)
+        vortex_kernel(p.pos[i], tree.cells()[ci].com, cell_alpha[ci], sigma2, u,
+                      &p.alpha[i], &da);
+      p.vel[i] = u;
+      p.dalpha[i] = da;
+      tally.body_body += lists.bodies.size();
+      tally.body_cell += lists.cells.size();
+    }
+  }
+  return tally;
+}
+
+void step_euler(VortexParticles& p, double dt, const hot::Mac& mac) {
+  tree_velocities(p, mac);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.pos[i] += dt * p.vel[i];
+    p.alpha[i] += dt * p.dalpha[i];
+  }
+}
+
+InteractionTally step_rk2(VortexParticles& p, double dt, const hot::Mac& mac) {
+  InteractionTally tally = tree_velocities(p, mac);
+  VortexParticles mid = p;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    mid.pos[i] += 0.5 * dt * p.vel[i];
+    mid.alpha[i] += 0.5 * dt * p.dalpha[i];
+  }
+  tally += tree_velocities(mid, mac);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.pos[i] += dt * mid.vel[i];
+    p.alpha[i] += dt * mid.dalpha[i];
+  }
+  return tally;
+}
+
+VortexParticles make_ring(std::size_t n, double radius, double gamma,
+                          const Vec3d& center, const Vec3d& axis, double sigma) {
+  VortexParticles p;
+  p.resize(n);
+  p.sigma = sigma;
+  // Orthonormal frame (e1, e2, axis).
+  Vec3d e1 = std::abs(axis.x) < 0.9 ? Vec3d{1, 0, 0} : Vec3d{0, 1, 0};
+  e1 = e1 - dot(e1, axis) * axis;
+  e1 /= norm(e1);
+  const Vec3d e2 = cross(axis, e1);
+  const double dl = 2.0 * std::numbers::pi * radius / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phi = 2.0 * std::numbers::pi * static_cast<double>(i) / n;
+    const Vec3d rhat = std::cos(phi) * e1 + std::sin(phi) * e2;
+    const Vec3d that = cross(axis, rhat);  // right-handed: ring moves along +axis
+    p.pos[i] = center + radius * rhat;
+    p.alpha[i] = gamma * dl * that;
+  }
+  return p;
+}
+
+VortexParticles merge(const VortexParticles& a, const VortexParticles& b) {
+  VortexParticles out = a;
+  out.pos.insert(out.pos.end(), b.pos.begin(), b.pos.end());
+  out.alpha.insert(out.alpha.end(), b.alpha.begin(), b.alpha.end());
+  out.vel.insert(out.vel.end(), b.vel.begin(), b.vel.end());
+  out.dalpha.insert(out.dalpha.end(), b.dalpha.begin(), b.dalpha.end());
+  return out;
+}
+
+}  // namespace hotlib::vortex

@@ -1,0 +1,182 @@
+// Tests for src/morton: bit interleaving, key algebra (parent/child/level/
+// ancestor), position mapping and cell geometry.
+#include <gtest/gtest.h>
+
+#include "morton/key.hpp"
+#include "util/rng.hpp"
+
+namespace hotlib::morton {
+namespace {
+
+TEST(ExpandBits, RoundTrip) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.next() & 0x1FFFFF);
+    EXPECT_EQ(compact_bits(expand_bits(v)), v);
+  }
+}
+
+TEST(ExpandBits, BitsAreThreeApart) {
+  const std::uint64_t e = expand_bits(0x1FFFFF);
+  EXPECT_EQ(e, 0x1249249249249249ULL);
+}
+
+TEST(Key, CoordsRoundTrip) {
+  Xoshiro256ss rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next() % kCoordRange);
+    const auto y = static_cast<std::uint32_t>(rng.next() % kCoordRange);
+    const auto z = static_cast<std::uint32_t>(rng.next() % kCoordRange);
+    const Key k = key_from_coords(x, y, z);
+    const Coords c = coords_from_key(k);
+    ASSERT_EQ(c.x, x);
+    ASSERT_EQ(c.y, y);
+    ASSERT_EQ(c.z, z);
+    ASSERT_EQ(level(k), kMaxLevel);
+  }
+}
+
+TEST(Key, RootAndLevels) {
+  EXPECT_EQ(level(kRootKey), 0);
+  Key k = kRootKey;
+  for (int lv = 1; lv <= kMaxLevel; ++lv) {
+    k = child(k, 5);
+    EXPECT_EQ(level(k), lv);
+    EXPECT_EQ(octant(k), 5);
+  }
+  for (int lv = kMaxLevel; lv >= 1; --lv) {
+    EXPECT_EQ(level(k), lv);
+    k = parent(k);
+  }
+  EXPECT_EQ(k, kRootKey);
+}
+
+TEST(Key, ParentChildInverse) {
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    Key k = kRootKey;
+    const int depth = 1 + static_cast<int>(rng.next() % kMaxLevel);
+    for (int d = 0; d < depth; ++d) k = child(k, static_cast<int>(rng.next() % 8));
+    Key up = k;
+    for (int d = 0; d < depth; ++d) up = parent(up);
+    EXPECT_EQ(up, kRootKey);
+    EXPECT_EQ(ancestor_at_level(k, 0), kRootKey);
+    EXPECT_EQ(ancestor_at_level(k, depth), k);
+  }
+}
+
+TEST(Key, AncestorPredicate) {
+  const Key a = child(child(kRootKey, 3), 1);
+  const Key b = child(child(a, 7), 2);
+  EXPECT_TRUE(is_ancestor_of(kRootKey, b));
+  EXPECT_TRUE(is_ancestor_of(a, b));
+  EXPECT_TRUE(is_ancestor_of(a, a));
+  EXPECT_FALSE(is_ancestor_of(b, a));
+  EXPECT_FALSE(is_ancestor_of(child(kRootKey, 4), b));
+}
+
+TEST(Key, CommonAncestor) {
+  const Key a = child(child(child(kRootKey, 3), 1), 0);
+  const Key b = child(child(child(kRootKey, 3), 2), 7);
+  EXPECT_EQ(common_ancestor(a, b), child(kRootKey, 3));
+  EXPECT_EQ(common_ancestor(a, a), a);
+  EXPECT_EQ(common_ancestor(a, child(kRootKey, 5)), kRootKey);
+  EXPECT_EQ(common_ancestor(a, child(a, 2)), a);
+}
+
+TEST(Key, PositionMappingPreservesOrderAlongDiagonal) {
+  // Positions in the same octant share the level-1 key digit.
+  const Domain d{{0, 0, 0}, 1.0};
+  const Key k_low = key_from_position({0.1, 0.2, 0.3}, d);
+  const Key k_high = key_from_position({0.9, 0.8, 0.7}, d);
+  EXPECT_NE(ancestor_at_level(k_low, 1), ancestor_at_level(k_high, 1));
+}
+
+TEST(Key, BoundaryPositionsClamped) {
+  const Domain d{{0, 0, 0}, 1.0};
+  const Key k = key_from_position({1.0, 1.0, 1.0}, d);  // on the upper face
+  const Coords c = coords_from_key(k);
+  EXPECT_EQ(c.x, kCoordRange - 1);
+  EXPECT_EQ(c.y, kCoordRange - 1);
+  EXPECT_EQ(c.z, kCoordRange - 1);
+}
+
+TEST(CellBox, RootIsWholeDomain) {
+  const Domain d{{-2, -2, -2}, 4.0};
+  const CellBox b = cell_box(kRootKey, d);
+  EXPECT_DOUBLE_EQ(b.half, 2.0);
+  EXPECT_DOUBLE_EQ(b.center.x, 0.0);
+  EXPECT_DOUBLE_EQ(b.center.y, 0.0);
+  EXPECT_DOUBLE_EQ(b.center.z, 0.0);
+}
+
+TEST(CellBox, ChildHalvesAndContainsItsPositions) {
+  const Domain d{{0, 0, 0}, 1.0};
+  Xoshiro256ss rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3d p = rng.in_cube();
+    Key k = key_from_position(p, d);
+    // Every ancestor's box must contain p.
+    for (int lv = kMaxLevel; lv >= 0; --lv) {
+      const Key a = ancestor_at_level(k, lv);
+      const CellBox b = cell_box(a, d);
+      EXPECT_NEAR(b.half, 0.5 / static_cast<double>(1u << std::min(lv, 30)), 1e-12);
+      for (int ax = 0; ax < 3; ++ax) {
+        ASSERT_LE(b.center[static_cast<std::size_t>(ax)] - b.half,
+                  p[static_cast<std::size_t>(ax)] + 1e-12);
+        ASSERT_GE(b.center[static_cast<std::size_t>(ax)] + b.half,
+                  p[static_cast<std::size_t>(ax)] - 1e-12);
+      }
+      if (lv > 12) continue;  // half-size formula check only meaningful shallow
+    }
+  }
+}
+
+TEST(BoundingDomain, CoversAllPoints) {
+  Xoshiro256ss rng(23);
+  std::vector<Vec3d> pts;
+  for (int i = 0; i < 500; ++i)
+    pts.push_back({rng.uniform(-3, 5), rng.uniform(10, 11), rng.uniform(-1, 1)});
+  const Domain d = bounding_domain(pts.data(), pts.size());
+  for (const auto& p : pts) EXPECT_TRUE(d.contains(p));
+}
+
+TEST(BoundingDomain, DegenerateInput) {
+  const Vec3d p{1, 2, 3};
+  const Domain d = bounding_domain(&p, 1);
+  EXPECT_TRUE(d.contains(p));
+  EXPECT_GT(d.size, 0.0);
+}
+
+// Property sweep: Morton order preserves spatial locality in the sense that
+// key-adjacent lattice cells are geometrically close (within a few cell
+// sizes at the same refinement level).
+class MortonLocality : public ::testing::TestWithParam<int> {};
+
+TEST_P(MortonLocality, AdjacentKeysShareDeepAncestors) {
+  const int lv = GetParam();
+  Xoshiro256ss rng(100 + static_cast<std::uint64_t>(lv));
+  const Domain d{{0, 0, 0}, 1.0};
+  int shared = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3d p = rng.in_cube();
+    const Key k = key_from_position(p, d);
+    const Key a = ancestor_at_level(k, lv);
+    // Perturb by half a cell at level lv: usually stays in same/nearby cell.
+    const double h = 0.25 / static_cast<double>(1 << lv);
+    Vec3d q = p + Vec3d{rng.uniform(-h, h), rng.uniform(-h, h), rng.uniform(-h, h)};
+    q.x = std::clamp(q.x, 0.0, 0.999999);
+    q.y = std::clamp(q.y, 0.0, 0.999999);
+    q.z = std::clamp(q.z, 0.0, 0.999999);
+    const Key a2 = ancestor_at_level(key_from_position(q, d), lv);
+    shared += (a == a2) ? 1 : 0;
+    ++total;
+  }
+  // More than a third of half-cell perturbations stay in the same cell.
+  EXPECT_GT(shared, total / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MortonLocality, ::testing::Values(1, 2, 4, 6, 8));
+
+}  // namespace
+}  // namespace hotlib::morton
