@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abm.dir/bench_abm.cpp.o"
+  "CMakeFiles/bench_abm.dir/bench_abm.cpp.o.d"
+  "bench_abm"
+  "bench_abm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

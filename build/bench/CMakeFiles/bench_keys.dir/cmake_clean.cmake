@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keys.dir/bench_keys.cpp.o"
+  "CMakeFiles/bench_keys.dir/bench_keys.cpp.o.d"
+  "bench_keys"
+  "bench_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

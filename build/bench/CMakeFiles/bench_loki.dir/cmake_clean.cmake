@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loki.dir/bench_loki.cpp.o"
+  "CMakeFiles/bench_loki.dir/bench_loki.cpp.o.d"
+  "bench_loki"
+  "bench_loki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

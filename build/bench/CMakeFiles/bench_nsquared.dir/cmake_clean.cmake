@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nsquared.dir/bench_nsquared.cpp.o"
+  "CMakeFiles/bench_nsquared.dir/bench_nsquared.cpp.o.d"
+  "bench_nsquared"
+  "bench_nsquared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nsquared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

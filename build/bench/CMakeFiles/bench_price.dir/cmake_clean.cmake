@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_price.dir/bench_price.cpp.o"
+  "CMakeFiles/bench_price.dir/bench_price.cpp.o.d"
+  "bench_price"
+  "bench_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

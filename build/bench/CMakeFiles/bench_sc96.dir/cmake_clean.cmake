@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sc96.dir/bench_sc96.cpp.o"
+  "CMakeFiles/bench_sc96.dir/bench_sc96.cpp.o.d"
+  "bench_sc96"
+  "bench_sc96.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sc96.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_treecode.dir/bench_treecode.cpp.o"
+  "CMakeFiles/bench_treecode.dir/bench_treecode.cpp.o.d"
+  "bench_treecode"
+  "bench_treecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_treecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

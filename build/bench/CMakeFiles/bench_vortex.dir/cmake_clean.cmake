@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vortex.dir/bench_vortex.cpp.o"
+  "CMakeFiles/bench_vortex.dir/bench_vortex.cpp.o.d"
+  "bench_vortex"
+  "bench_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_cost.dir/cluster_cost.cpp.o"
+  "CMakeFiles/cluster_cost.dir/cluster_cost.cpp.o.d"
+  "cluster_cost"
+  "cluster_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_sim.dir/cosmo_sim.cpp.o"
+  "CMakeFiles/cosmo_sim.dir/cosmo_sim.cpp.o.d"
+  "cosmo_sim"
+  "cosmo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

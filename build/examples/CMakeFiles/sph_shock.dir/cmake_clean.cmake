@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sph_shock.dir/sph_shock.cpp.o"
+  "CMakeFiles/sph_shock.dir/sph_shock.cpp.o.d"
+  "sph_shock"
+  "sph_shock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sph_shock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

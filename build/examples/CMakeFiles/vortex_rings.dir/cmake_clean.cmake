@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vortex_rings.dir/vortex_rings.cpp.o"
+  "CMakeFiles/vortex_rings.dir/vortex_rings.cpp.o.d"
+  "vortex_rings"
+  "vortex_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vortex_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmo/checkpoint.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/checkpoint.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/cosmo/correlate.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/correlate.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/correlate.cpp.o.d"
+  "/root/repo/src/cosmo/expansion.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/expansion.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/expansion.cpp.o.d"
+  "/root/repo/src/cosmo/fof.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/fof.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/fof.cpp.o.d"
+  "/root/repo/src/cosmo/ics.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/ics.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/ics.cpp.o.d"
+  "/root/repo/src/cosmo/power_spectrum.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/power_spectrum.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/power_spectrum.cpp.o.d"
+  "/root/repo/src/cosmo/project.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/project.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/project.cpp.o.d"
+  "/root/repo/src/cosmo/simulation.cpp" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/simulation.cpp.o" "gcc" "src/cosmo/CMakeFiles/hotlib_cosmo.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gravity/CMakeFiles/hotlib_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/hot/CMakeFiles/hotlib_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hotlib_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/parc/CMakeFiles/hotlib_parc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotlib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/hotlib_morton.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

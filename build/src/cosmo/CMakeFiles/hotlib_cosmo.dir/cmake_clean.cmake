@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_cosmo.dir/checkpoint.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hotlib_cosmo.dir/correlate.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/correlate.cpp.o.d"
+  "CMakeFiles/hotlib_cosmo.dir/expansion.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/expansion.cpp.o.d"
+  "CMakeFiles/hotlib_cosmo.dir/fof.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/fof.cpp.o.d"
+  "CMakeFiles/hotlib_cosmo.dir/ics.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/ics.cpp.o.d"
+  "CMakeFiles/hotlib_cosmo.dir/power_spectrum.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/power_spectrum.cpp.o.d"
+  "CMakeFiles/hotlib_cosmo.dir/project.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/project.cpp.o.d"
+  "CMakeFiles/hotlib_cosmo.dir/simulation.cpp.o"
+  "CMakeFiles/hotlib_cosmo.dir/simulation.cpp.o.d"
+  "libhotlib_cosmo.a"
+  "libhotlib_cosmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

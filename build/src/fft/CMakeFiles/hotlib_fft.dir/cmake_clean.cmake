@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_fft.dir/fft.cpp.o"
+  "CMakeFiles/hotlib_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/hotlib_fft.dir/slab_fft.cpp.o"
+  "CMakeFiles/hotlib_fft.dir/slab_fft.cpp.o.d"
+  "libhotlib_fft.a"
+  "libhotlib_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gravity/abm_forces.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/abm_forces.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/abm_forces.cpp.o.d"
+  "/root/repo/src/gravity/direct.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/direct.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/direct.cpp.o.d"
+  "/root/repo/src/gravity/evaluator.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/evaluator.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/evaluator.cpp.o.d"
+  "/root/repo/src/gravity/ewald.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/ewald.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/ewald.cpp.o.d"
+  "/root/repo/src/gravity/integrator.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/integrator.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/integrator.cpp.o.d"
+  "/root/repo/src/gravity/kernels.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/kernels.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/kernels.cpp.o.d"
+  "/root/repo/src/gravity/models.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/models.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/models.cpp.o.d"
+  "/root/repo/src/gravity/parallel.cpp" "src/gravity/CMakeFiles/hotlib_gravity.dir/parallel.cpp.o" "gcc" "src/gravity/CMakeFiles/hotlib_gravity.dir/parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hot/CMakeFiles/hotlib_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/parc/CMakeFiles/hotlib_parc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotlib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/hotlib_morton.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_gravity.dir/abm_forces.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/abm_forces.cpp.o.d"
+  "CMakeFiles/hotlib_gravity.dir/direct.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/direct.cpp.o.d"
+  "CMakeFiles/hotlib_gravity.dir/evaluator.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/evaluator.cpp.o.d"
+  "CMakeFiles/hotlib_gravity.dir/ewald.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/ewald.cpp.o.d"
+  "CMakeFiles/hotlib_gravity.dir/integrator.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/integrator.cpp.o.d"
+  "CMakeFiles/hotlib_gravity.dir/kernels.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/kernels.cpp.o.d"
+  "CMakeFiles/hotlib_gravity.dir/models.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/models.cpp.o.d"
+  "CMakeFiles/hotlib_gravity.dir/parallel.cpp.o"
+  "CMakeFiles/hotlib_gravity.dir/parallel.cpp.o.d"
+  "libhotlib_gravity.a"
+  "libhotlib_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

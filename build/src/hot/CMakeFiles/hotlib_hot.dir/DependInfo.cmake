@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hot/decompose.cpp" "src/hot/CMakeFiles/hotlib_hot.dir/decompose.cpp.o" "gcc" "src/hot/CMakeFiles/hotlib_hot.dir/decompose.cpp.o.d"
+  "/root/repo/src/hot/dtree.cpp" "src/hot/CMakeFiles/hotlib_hot.dir/dtree.cpp.o" "gcc" "src/hot/CMakeFiles/hotlib_hot.dir/dtree.cpp.o.d"
+  "/root/repo/src/hot/let.cpp" "src/hot/CMakeFiles/hotlib_hot.dir/let.cpp.o" "gcc" "src/hot/CMakeFiles/hotlib_hot.dir/let.cpp.o.d"
+  "/root/repo/src/hot/traverse.cpp" "src/hot/CMakeFiles/hotlib_hot.dir/traverse.cpp.o" "gcc" "src/hot/CMakeFiles/hotlib_hot.dir/traverse.cpp.o.d"
+  "/root/repo/src/hot/tree.cpp" "src/hot/CMakeFiles/hotlib_hot.dir/tree.cpp.o" "gcc" "src/hot/CMakeFiles/hotlib_hot.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/morton/CMakeFiles/hotlib_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/parc/CMakeFiles/hotlib_parc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotlib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

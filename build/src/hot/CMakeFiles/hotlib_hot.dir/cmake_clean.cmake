@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_hot.dir/decompose.cpp.o"
+  "CMakeFiles/hotlib_hot.dir/decompose.cpp.o.d"
+  "CMakeFiles/hotlib_hot.dir/dtree.cpp.o"
+  "CMakeFiles/hotlib_hot.dir/dtree.cpp.o.d"
+  "CMakeFiles/hotlib_hot.dir/let.cpp.o"
+  "CMakeFiles/hotlib_hot.dir/let.cpp.o.d"
+  "CMakeFiles/hotlib_hot.dir/traverse.cpp.o"
+  "CMakeFiles/hotlib_hot.dir/traverse.cpp.o.d"
+  "CMakeFiles/hotlib_hot.dir/tree.cpp.o"
+  "CMakeFiles/hotlib_hot.dir/tree.cpp.o.d"
+  "libhotlib_hot.a"
+  "libhotlib_hot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_hot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

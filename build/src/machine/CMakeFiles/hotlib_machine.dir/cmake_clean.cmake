@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_machine.dir/prices.cpp.o"
+  "CMakeFiles/hotlib_machine.dir/prices.cpp.o.d"
+  "libhotlib_machine.a"
+  "libhotlib_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

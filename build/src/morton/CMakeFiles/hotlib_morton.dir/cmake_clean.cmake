@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_morton.dir/hilbert.cpp.o"
+  "CMakeFiles/hotlib_morton.dir/hilbert.cpp.o.d"
+  "CMakeFiles/hotlib_morton.dir/key.cpp.o"
+  "CMakeFiles/hotlib_morton.dir/key.cpp.o.d"
+  "libhotlib_morton.a"
+  "libhotlib_morton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_npb.dir/adi.cpp.o"
+  "CMakeFiles/hotlib_npb.dir/adi.cpp.o.d"
+  "CMakeFiles/hotlib_npb.dir/cg.cpp.o"
+  "CMakeFiles/hotlib_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/hotlib_npb.dir/ep.cpp.o"
+  "CMakeFiles/hotlib_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/hotlib_npb.dir/ft.cpp.o"
+  "CMakeFiles/hotlib_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/hotlib_npb.dir/is.cpp.o"
+  "CMakeFiles/hotlib_npb.dir/is.cpp.o.d"
+  "CMakeFiles/hotlib_npb.dir/mg.cpp.o"
+  "CMakeFiles/hotlib_npb.dir/mg.cpp.o.d"
+  "libhotlib_npb.a"
+  "libhotlib_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

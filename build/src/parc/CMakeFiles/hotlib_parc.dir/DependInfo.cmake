@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parc/fabric.cpp" "src/parc/CMakeFiles/hotlib_parc.dir/fabric.cpp.o" "gcc" "src/parc/CMakeFiles/hotlib_parc.dir/fabric.cpp.o.d"
+  "/root/repo/src/parc/rank.cpp" "src/parc/CMakeFiles/hotlib_parc.dir/rank.cpp.o" "gcc" "src/parc/CMakeFiles/hotlib_parc.dir/rank.cpp.o.d"
+  "/root/repo/src/parc/runtime.cpp" "src/parc/CMakeFiles/hotlib_parc.dir/runtime.cpp.o" "gcc" "src/parc/CMakeFiles/hotlib_parc.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hotlib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

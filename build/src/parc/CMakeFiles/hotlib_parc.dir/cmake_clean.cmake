@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_parc.dir/fabric.cpp.o"
+  "CMakeFiles/hotlib_parc.dir/fabric.cpp.o.d"
+  "CMakeFiles/hotlib_parc.dir/rank.cpp.o"
+  "CMakeFiles/hotlib_parc.dir/rank.cpp.o.d"
+  "CMakeFiles/hotlib_parc.dir/runtime.cpp.o"
+  "CMakeFiles/hotlib_parc.dir/runtime.cpp.o.d"
+  "libhotlib_parc.a"
+  "libhotlib_parc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_parc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_simnet.dir/machine.cpp.o"
+  "CMakeFiles/hotlib_simnet.dir/machine.cpp.o.d"
+  "libhotlib_simnet.a"
+  "libhotlib_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_sph.dir/sph.cpp.o"
+  "CMakeFiles/hotlib_sph.dir/sph.cpp.o.d"
+  "libhotlib_sph.a"
+  "libhotlib_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

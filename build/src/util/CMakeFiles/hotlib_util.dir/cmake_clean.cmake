@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_util.dir/pgm.cpp.o"
+  "CMakeFiles/hotlib_util.dir/pgm.cpp.o.d"
+  "CMakeFiles/hotlib_util.dir/rng.cpp.o"
+  "CMakeFiles/hotlib_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hotlib_util.dir/snapshot.cpp.o"
+  "CMakeFiles/hotlib_util.dir/snapshot.cpp.o.d"
+  "CMakeFiles/hotlib_util.dir/table.cpp.o"
+  "CMakeFiles/hotlib_util.dir/table.cpp.o.d"
+  "libhotlib_util.a"
+  "libhotlib_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhotlib_util.a"
+)

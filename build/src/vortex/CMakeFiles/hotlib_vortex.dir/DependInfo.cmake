@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vortex/remesh.cpp" "src/vortex/CMakeFiles/hotlib_vortex.dir/remesh.cpp.o" "gcc" "src/vortex/CMakeFiles/hotlib_vortex.dir/remesh.cpp.o.d"
+  "/root/repo/src/vortex/vpm.cpp" "src/vortex/CMakeFiles/hotlib_vortex.dir/vpm.cpp.o" "gcc" "src/vortex/CMakeFiles/hotlib_vortex.dir/vpm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hot/CMakeFiles/hotlib_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/hotlib_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotlib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/hotlib_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/parc/CMakeFiles/hotlib_parc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

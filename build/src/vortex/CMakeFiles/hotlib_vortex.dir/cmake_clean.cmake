@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlib_vortex.dir/remesh.cpp.o"
+  "CMakeFiles/hotlib_vortex.dir/remesh.cpp.o.d"
+  "CMakeFiles/hotlib_vortex.dir/vpm.cpp.o"
+  "CMakeFiles/hotlib_vortex.dir/vpm.cpp.o.d"
+  "libhotlib_vortex.a"
+  "libhotlib_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlib_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

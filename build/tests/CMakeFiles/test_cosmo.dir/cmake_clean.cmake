@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosmo.dir/test_cosmo.cpp.o"
+  "CMakeFiles/test_cosmo.dir/test_cosmo.cpp.o.d"
+  "test_cosmo"
+  "test_cosmo.pdb"
+  "test_cosmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

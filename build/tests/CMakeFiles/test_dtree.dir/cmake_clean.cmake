@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtree.dir/test_dtree.cpp.o"
+  "CMakeFiles/test_dtree.dir/test_dtree.cpp.o.d"
+  "test_dtree"
+  "test_dtree.pdb"
+  "test_dtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expansion.dir/test_expansion.cpp.o"
+  "CMakeFiles/test_expansion.dir/test_expansion.cpp.o.d"
+  "test_expansion"
+  "test_expansion.pdb"
+  "test_expansion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

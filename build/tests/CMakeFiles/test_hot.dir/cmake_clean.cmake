@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hot.dir/test_hot.cpp.o"
+  "CMakeFiles/test_hot.dir/test_hot.cpp.o.d"
+  "test_hot"
+  "test_hot.pdb"
+  "test_hot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_npb.cpp" "tests/CMakeFiles/test_npb.dir/test_npb.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/test_npb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosmo/CMakeFiles/hotlib_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/vortex/CMakeFiles/hotlib_vortex.dir/DependInfo.cmake"
+  "/root/repo/build/src/sph/CMakeFiles/hotlib_sph.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/hotlib_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/hotlib_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/hotlib_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/hot/CMakeFiles/hotlib_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hotlib_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/hotlib_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/parc/CMakeFiles/hotlib_parc.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/hotlib_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hotlib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parc.dir/test_parc.cpp.o"
+  "CMakeFiles/test_parc.dir/test_parc.cpp.o.d"
+  "test_parc"
+  "test_parc.pdb"
+  "test_parc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

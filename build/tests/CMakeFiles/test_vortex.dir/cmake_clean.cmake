@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vortex.dir/test_vortex.cpp.o"
+  "CMakeFiles/test_vortex.dir/test_vortex.cpp.o.d"
+  "test_vortex"
+  "test_vortex.pdb"
+  "test_vortex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

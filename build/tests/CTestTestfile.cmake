@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_morton[1]_include.cmake")
+include("/root/repo/build/tests/test_parc[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_hot[1]_include.cmake")
+include("/root/repo/build/tests/test_gravity[1]_include.cmake")
+include("/root/repo/build/tests/test_dtree[1]_include.cmake")
+include("/root/repo/build/tests/test_cosmo[1]_include.cmake")
+include("/root/repo/build/tests/test_vortex[1]_include.cmake")
+include("/root/repo/build/tests/test_sph[1]_include.cmake")
+include("/root/repo/build/tests/test_npb[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_expansion[1]_include.cmake")
