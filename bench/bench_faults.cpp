@@ -1,0 +1,124 @@
+// bench_faults — cost of reliability, and behaviour under injected faults.
+//
+// Two questions about the ABM retry/ack layer (ISSUE: fault-injecting fabric):
+//
+//  1. What does the sequence/ack/checksum machinery cost when the fabric is
+//     clean? Reliable mode is forced on with no fault plan and compared
+//     against raw mode on the same traversal; acceptance is <= 5% modelled
+//     virtual-time overhead (the acks are small and ride the same mailboxes,
+//     so they add messages but almost no serialisation or latency on the
+//     critical path).
+//
+//  2. How does the pipeline degrade as the fault rate rises? A sweep of
+//     drop+duplicate rates reports retransmits, fault counts and modelled
+//     time. Forces stay bit-identical to the clean run at every rate the
+//     retry budget can absorb — that invariant is enforced by test_faults;
+//     here we report the price paid for it.
+#include <cstdio>
+#include <cstring>
+
+#include "gravity/abm_forces.hpp"
+#include "gravity/models.hpp"
+#include "parc/parc.hpp"
+#include "simnet/machine.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hotlib;
+
+namespace {
+
+struct RunOut {
+  parc::RunStats stats;
+  std::vector<Vec3d> acc;
+};
+
+RunOut run_pipeline(const hot::Bodies& all, const morton::Domain& domain,
+                    const gravity::TreeForceConfig& cfg, int p,
+                    const parc::NetworkParams& net, const parc::FaultPlan& faults,
+                    bool force_reliable) {
+  RunOut out;
+  out.acc.assign(all.size(), {});
+  out.stats = parc::Runtime::run(
+      p,
+      [&](parc::Rank& r) {
+        if (force_reliable) r.am_set_reliable(true);
+        hot::Bodies local;
+        for (std::size_t i = static_cast<std::size_t>(r.rank()); i < all.size();
+             i += static_cast<std::size_t>(p))
+          local.append_from(all, i);
+        gravity::abm_tree_forces(r, local, domain, cfg);
+        for (std::size_t i = 0; i < local.size(); ++i)
+          out.acc[local.id[i]] = local.acc[i];
+      },
+      net, faults);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fault injection: reliability overhead + degradation sweep ===\n\n");
+
+  const std::size_t n = 20000;
+  const int p = 4;
+  auto all = gravity::plummer_sphere(n, 1997);
+  const auto domain = gravity::fit_domain(all);
+  const gravity::TreeForceConfig cfg{.mac = hot::Mac{.theta = 0.35}, .softening = 0.02};
+  const auto loki_net = simnet::loki().net;
+
+  // --- 1. ack/seq machinery overhead on a clean fabric -----------------------
+  const RunOut raw = run_pipeline(all, domain, cfg, p, loki_net, {}, false);
+  const RunOut rel = run_pipeline(all, domain, cfg, p, loki_net, {}, true);
+  const double overhead =
+      raw.stats.max_vclock > 0
+          ? (rel.stats.max_vclock - raw.stats.max_vclock) / raw.stats.max_vclock
+          : 0.0;
+
+  TextTable ovh({"ABM mode", "messages", "bytes moved", "modelled Loki s"});
+  ovh.add_row({"raw", TextTable::integer(static_cast<long long>(raw.stats.messages)),
+               TextTable::integer(static_cast<long long>(raw.stats.bytes)),
+               TextTable::num(raw.stats.max_vclock, 4)});
+  ovh.add_row({"reliable (no faults)",
+               TextTable::integer(static_cast<long long>(rel.stats.messages)),
+               TextTable::integer(static_cast<long long>(rel.stats.bytes)),
+               TextTable::num(rel.stats.max_vclock, 4)});
+  std::printf("%s\n", ovh.to_string().c_str());
+  const bool same_forces =
+      std::memcmp(raw.acc.data(), rel.acc.data(), n * sizeof(Vec3d)) == 0;
+  std::printf("virtual-time overhead of seq/ack/checksum machinery: %.2f%%  [%s]\n",
+              100.0 * overhead, overhead <= 0.05 ? "PASS <= 5%" : "FAIL > 5%");
+  std::printf("forces bit-identical raw vs reliable: %s\n\n",
+              same_forces ? "yes" : "NO (bug!)");
+
+  // --- 2. degradation sweep over fault intensity -----------------------------
+  TextTable sweep({"drop", "dup", "faults fired", "retransmits", "abandoned",
+                   "modelled Loki s", "vs clean", "forces"});
+  for (const double rate : {0.01, 0.05, 0.10, 0.20}) {
+    parc::FaultPlan plan;
+    plan.seed = 42;
+    plan.drop_prob = rate;
+    plan.duplicate_prob = rate / 2;
+    const RunOut f = run_pipeline(all, domain, cfg, p, loki_net, plan, false);
+    const bool exact =
+        std::memcmp(raw.acc.data(), f.acc.data(), n * sizeof(Vec3d)) == 0;
+    sweep.add_row(
+        {TextTable::num(rate, 2), TextTable::num(rate / 2, 3),
+         TextTable::integer(static_cast<long long>(f.stats.faults.total())),
+         TextTable::integer(static_cast<long long>(f.stats.retransmits)),
+         TextTable::integer(static_cast<long long>(f.stats.abandoned_records)),
+         TextTable::num(f.stats.max_vclock, 4),
+         TextTable::num(raw.stats.max_vclock > 0
+                            ? f.stats.max_vclock / raw.stats.max_vclock
+                            : 0.0,
+                        2),
+         exact ? "bit-identical" : "DIVERGED"});
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+  std::printf(
+      "Shape checks: overhead of the reliability layer is within the 5%% budget\n"
+      "(acks are tiny and off the serialisation critical path); under faults the\n"
+      "modelled time grows with retransmissions but forces remain bit-identical\n"
+      "whenever nothing is abandoned (exactly-once, in-order delivery).\n");
+  return 0;
+}

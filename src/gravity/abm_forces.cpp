@@ -50,6 +50,7 @@ AbmForceResult abm_tree_forces(parc::Rank& rank, hot::Bodies& local,
           local.work[i] = static_cast<double>(pp + pc);
         }
       });
+  result.health = rank.am_health();
   return result;
 }
 

@@ -16,6 +16,11 @@ struct AbmForceResult {
   InteractionTally tally;            // this rank's interactions
   hot::DecomposeStats decomp;
   hot::DistributedTree::Stats traversal;
+  // Snapshot of the rank's reliable-ABM health after the traversal: under a
+  // fault-injecting fabric this records retransmissions, duplicates and any
+  // abandoned traffic. degraded() here (or traversal.degraded()) means the
+  // forces are incomplete — surfaced instead of hanging the pipeline.
+  parc::AmHealthReport health;
 };
 
 // Compute forces into local.acc/local.pot (overwritten); bodies migrate via

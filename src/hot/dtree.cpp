@@ -391,6 +391,16 @@ DistributedTree::Stats DistributedTree::traverse(const Mac& mac, const GroupEval
     arrived_keys_.clear();
   };
 
+  // Liveness under a faulty fabric: if this rank sits idle with outstanding
+  // key requests for many synchronization rounds (no reply can take that
+  // long unless traffic was lost beyond what the retry layer recovered),
+  // re-request the pending keys; after a bounded number of such sweeps the
+  // keys are declared lost and their regions treated as empty, so the
+  // traversal terminates with stats.lost_keys set instead of hanging.
+  constexpr std::uint64_t kIdleRoundsBeforeRerequest = 64;
+  constexpr std::uint64_t kMaxRerequestRounds = 4;
+  std::uint64_t idle_rounds = 0;
+
   for (;;) {
     while (!runnable.empty()) {
       const std::size_t id = runnable.front();
@@ -414,7 +424,10 @@ DistributedTree::Stats DistributedTree::traverse(const Mac& mac, const GroupEval
     rank_.am_poll();
     rank_.am_flush();  // ship replies generated while polling
     drain_arrivals();
-    if (!runnable.empty()) continue;
+    if (!runnable.empty()) {
+      idle_rounds = 0;
+      continue;
+    }
 
     // Locally idle: either all groups finished or we are waiting on replies.
     // Synchronize; keep serving remote requests until everyone is done.
@@ -423,6 +436,30 @@ DistributedTree::Stats DistributedTree::traverse(const Mac& mac, const GroupEval
     rank_.am_poll();
     rank_.am_flush();
     drain_arrivals();
+    if (!runnable.empty() || pending.empty()) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < kIdleRoundsBeforeRerequest) continue;
+    idle_rounds = 0;
+    if (stats.rerequest_rounds < kMaxRerequestRounds) {
+      ++stats.rerequest_rounds;
+      for (Key k : pending) {
+        rank_.am_post_value(owner_of(k), am_request_, k);
+        ++stats.requests_sent;
+      }
+      rank_.am_flush();
+    } else {
+      // Give up: synthesize empty regions so every waiting walk completes.
+      for (Key k : pending) {
+        RemoteCell empty;
+        empty.leaf = true;
+        cache_[k] = std::move(empty);
+        arrived_keys_.push_back(k);
+        ++stats.lost_keys;
+      }
+      drain_arrivals();
+    }
   }
   active_stats_ = nullptr;
   return stats;

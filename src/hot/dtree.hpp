@@ -71,7 +71,15 @@ class DistributedTree {
     std::uint64_t cache_hits = 0;       // remote lookups satisfied locally
     std::uint64_t suspensions = 0;      // context switches
     std::uint64_t crown_cells = 0;      // replicated shared cells
+    // Degradation bookkeeping (non-zero only when the fabric loses traffic
+    // beyond what the ABM retry layer recovers):
+    std::uint64_t rerequest_rounds = 0; // idle-timeout key re-request sweeps
+    std::uint64_t lost_keys = 0;        // keys given up on (region treated empty)
     InteractionTally tally;             // MAC bookkeeping
+
+    // Some remote data never arrived: forces are incomplete and the caller
+    // must treat the result as a health report, not an answer.
+    bool degraded() const { return lost_keys > 0; }
   };
 
   // Walk every local sink group to completion; eval() fires per group.

@@ -4,18 +4,69 @@
 
 namespace hotlib::parc {
 
-Fabric::Fabric(int nranks, NetworkParams net) : net_(net) {
+Fabric::Fabric(int nranks, NetworkParams net, FaultPlan faults)
+    : net_(net), faults_(faults) {
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  chan_seq_.assign(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks),
+                   0);
+}
+
+void Fabric::release_deferred(Mailbox& box, bool force) {
+  if (box.deferred.empty()) return;
+  for (auto it = box.deferred.begin(); it != box.deferred.end();) {
+    if (force || --it->ttl <= 0) {
+      box.queue.push_back(std::move(it->msg));
+      it = box.deferred.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Fabric::enqueue(Mailbox& box, Message msg, bool front) {
+  if (front)
+    box.queue.push_front(std::move(msg));
+  else
+    box.queue.push_back(std::move(msg));
 }
 
 void Fabric::deliver(int dst, Message msg) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(dst));
+
+  FaultDraw d;
+  if (faults_.applies(msg.tag) && msg.source >= 0) {
+    const std::size_t chan = static_cast<std::size_t>(msg.source) *
+                                 static_cast<std::size_t>(size()) +
+                             static_cast<std::size_t>(dst);
+    d = faults_.draw(msg.source, dst, chan_seq_[chan]++, msg.payload.size());
+  }
+
+  if (d.drop) {
+    fault_counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (d.truncated) {
+    fault_counters_.truncated.fetch_add(1, std::memory_order_relaxed);
+    msg.payload.resize(d.truncate_to);
+  }
+  if (d.reorder) fault_counters_.reordered.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(box.mu);
-    box.queue.push_back(std::move(msg));
+    release_deferred(box, /*force=*/false);
+    if (d.duplicate) {
+      fault_counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+      enqueue(box, msg, /*front=*/d.reorder);  // copy; original may be delayed
+    }
+    if (d.delay_deliveries > 0) {
+      fault_counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+      msg.depart_time += d.extra_latency_s;
+      box.deferred.push_back({d.delay_deliveries, std::move(msg)});
+    } else {
+      enqueue(box, std::move(msg), /*front=*/d.reorder);
+    }
   }
   box.cv.notify_all();
 }
@@ -31,6 +82,11 @@ Message Fabric::recv(int me, int source, int tag) {
         return m;
       }
     }
+    // About to block: a delayed message must not be able to deadlock us.
+    if (!box.deferred.empty()) {
+      release_deferred(box, /*force=*/true);
+      continue;
+    }
     box.cv.wait(lock);
   }
 }
@@ -38,12 +94,19 @@ Message Fabric::recv(int me, int source, int tag) {
 std::optional<Message> Fabric::try_recv(int me, int source, int tag) {
   Mailbox& box = *boxes_.at(static_cast<std::size_t>(me));
   std::lock_guard lock(box.mu);
-  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (matches(*it, source, tag)) {
-      Message m = std::move(*it);
-      box.queue.erase(it);
-      return m;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
     }
+    // A failed poll ages delayed messages; rescan if any were released.
+    if (box.deferred.empty()) break;
+    const std::size_t before = box.queue.size();
+    release_deferred(box, /*force=*/false);
+    if (box.queue.size() == before) break;
   }
   return std::nullopt;
 }

@@ -5,6 +5,11 @@
 // matching message arrives. Because sends never block, naive exchange
 // patterns (everyone sends then everyone receives) cannot deadlock — the same
 // property the paper relies on from its buffered asynchronous primitives.
+//
+// An optional FaultPlan (fault.hpp) makes delivery adversarial: per-message
+// seeded drop/duplicate/delay/reorder/truncate decisions are applied inside
+// deliver(), modelling the commodity networks (fast ethernet, the SC'96
+// wide-area join) under which the ABM retry layer must stay correct.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "parc/fault.hpp"
 #include "parc/message.hpp"
 
 namespace hotlib::parc {
@@ -45,12 +51,14 @@ struct NetworkParams {
 
 class Fabric {
  public:
-  explicit Fabric(int nranks, NetworkParams net = {});
+  explicit Fabric(int nranks, NetworkParams net = {}, FaultPlan faults = {});
 
   int size() const { return static_cast<int>(boxes_.size()); }
   const NetworkParams& net() const { return net_; }
+  const FaultPlan& fault_plan() const { return faults_; }
 
-  // Deliver a message to dst's mailbox (thread-safe, non-blocking).
+  // Deliver a message to dst's mailbox (thread-safe, non-blocking). Subject
+  // to the fault plan when one is active and the tag is in scope.
   void deliver(int dst, Message msg);
 
   // Blocking receive with (source, tag) matching; wildcards allowed.
@@ -63,14 +71,30 @@ class Fabric {
   std::size_t pending(int me, int source, int tag);
 
   // Total messages / bytes pushed through the fabric (for the comm bench).
+  // Faulted attempts count too: they occupied the wire.
   std::uint64_t messages_delivered() const { return messages_.load(); }
   std::uint64_t bytes_delivered() const { return bytes_.load(); }
 
+  FaultStats fault_stats() const {
+    return {fault_counters_.dropped.load(),   fault_counters_.duplicated.load(),
+            fault_counters_.delayed.load(),   fault_counters_.reordered.load(),
+            fault_counters_.truncated.load()};
+  }
+
  private:
+  // A delayed message: released into the queue after `ttl` later deliveries
+  // or matching scans of this mailbox (and unconditionally before a receiver
+  // blocks, so delay can never deadlock a blocking recv).
+  struct Deferred {
+    int ttl = 0;
+    Message msg;
+  };
+
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
+    std::deque<Deferred> deferred;
   };
 
   static bool matches(const Message& m, int source, int tag) {
@@ -78,10 +102,23 @@ class Fabric {
            (tag == kAnyTag || m.tag == tag);
   }
 
+  // Requires box.mu held: age deferred messages by one event and move the
+  // expired ones (ttl <= 0, or everything when force is set) into the queue.
+  static void release_deferred(Mailbox& box, bool force);
+
+  void enqueue(Mailbox& box, Message msg, bool front);
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   NetworkParams net_;
+  FaultPlan faults_;
+  // Delivery-attempt counters per (source, dst) channel; the fault draw for
+  // an attempt depends only on these coordinates, which makes fault decisions
+  // independent of thread interleaving. Each slot is written only by the
+  // source rank's thread.
+  std::vector<std::uint64_t> chan_seq_;
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  FaultCounters fault_counters_;
 };
 
 }  // namespace hotlib::parc

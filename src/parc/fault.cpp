@@ -1,0 +1,60 @@
+#include "parc/fault.hpp"
+
+#include <cstdio>
+
+namespace hotlib::parc {
+
+namespace {
+
+// SplitMix64 finalizer (same constants as util/rng.hpp); good avalanche so
+// consecutive channel sequence numbers give independent-looking draws.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+}  // namespace
+
+FaultDraw FaultPlan::draw(int src, int dst, std::uint64_t chan_seq,
+                          std::size_t payload_bytes) const {
+  // One hash per fault dimension, all derived from the channel coordinates so
+  // the draw is independent of wall clock and thread interleaving.
+  const std::uint64_t base =
+      mix(seed ^ mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                     static_cast<std::uint32_t>(dst)) ^
+          mix(chan_seq + 0x6a09e667f3bcc909ULL));
+
+  FaultDraw d;
+  if (unit(mix(base ^ 0x01)) < drop_prob) {
+    d.drop = true;
+    return d;
+  }
+  d.duplicate = unit(mix(base ^ 0x02)) < duplicate_prob;
+  d.reorder = unit(mix(base ^ 0x03)) < reorder_prob;
+  if (unit(mix(base ^ 0x04)) < delay_prob) {
+    const int span = max_delay_deliveries > 0 ? max_delay_deliveries : 1;
+    d.delay_deliveries = 1 + static_cast<int>(mix(base ^ 0x05) % static_cast<std::uint64_t>(span));
+    d.extra_latency_s = delay_latency_s;
+  }
+  if (payload_bytes > 0 && unit(mix(base ^ 0x06)) < truncate_prob) {
+    d.truncated = true;
+    // Keep 0..90% of the payload: always an observable corruption.
+    d.truncate_to = static_cast<std::size_t>(
+        static_cast<double>(payload_bytes) * 0.9 * unit(mix(base ^ 0x07)));
+  }
+  return d;
+}
+
+std::string FaultPlan::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "seed=%llu drop=%.3f dup=%.3f delay=%.3f reorder=%.3f trunc=%.3f",
+                static_cast<unsigned long long>(seed), drop_prob, duplicate_prob,
+                delay_prob, reorder_prob, truncate_prob);
+  return buf;
+}
+
+}  // namespace hotlib::parc

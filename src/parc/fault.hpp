@@ -1,0 +1,94 @@
+// fault.hpp — deterministic fault injection for the parc fabric.
+//
+// The paper's ABM traversal assumes buffered non-blocking delivery surviving
+// a commodity network (Loki's fast ethernet, the SC'96 wide-area join) where
+// packets are delayed, reordered, duplicated or lost below the message layer.
+// A FaultPlan makes the in-process fabric just as hostile: every delivery
+// attempt draws its fate from a hash of (seed, source, destination, channel
+// sequence number), so a given plan perturbs a run the same way regardless
+// of thread scheduling, and two fabrics with the same plan agree on which
+// delivery attempts are faulted.
+//
+// Faults apply only to the ABM tags (data batches and acks) by default:
+// collective traffic is the control plane the retry layer itself relies on,
+// exactly as the paper's global combines ran over the reliable primitives.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "parc/message.hpp"
+
+namespace hotlib::parc {
+
+// What a single delivery attempt should suffer. `drop` excludes the others.
+struct FaultDraw {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;     // jump the mailbox queue instead of joining it
+  int delay_deliveries = 0; // held back until this many later deliveries/polls
+  double extra_latency_s = 0.0;  // virtual-time penalty of the delay
+  std::size_t truncate_to = 0;   // payload bytes kept; only when truncated
+  bool truncated = false;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_prob = 0.0;
+  double reorder_prob = 0.0;
+  double truncate_prob = 0.0;
+  // Delayed messages are held for 1..max_delay_deliveries subsequent
+  // deliveries/polls of the destination mailbox and charged this much extra
+  // virtual latency.
+  int max_delay_deliveries = 4;
+  double delay_latency_s = 0.0;
+  // When false (default) only ABM traffic (kAmTag / kAmAckTag) is faulted;
+  // when true every sub-collective tag is fair game. Collective tags are
+  // always exempt: they have no retry layer and faulting them can only hang.
+  bool include_user_tags = false;
+
+  bool active() const {
+    return drop_prob > 0 || duplicate_prob > 0 || delay_prob > 0 ||
+           reorder_prob > 0 || truncate_prob > 0;
+  }
+
+  bool applies(int tag) const {
+    if (!active()) return false;
+    if (tag == kAmTag || tag == kAmAckTag) return true;
+    return include_user_tags && tag >= 0 && tag < kUserTagLimit;
+  }
+
+  // Deterministic fate of delivery attempt number `chan_seq` on the
+  // (src, dst) channel.
+  FaultDraw draw(int src, int dst, std::uint64_t chan_seq,
+                 std::size_t payload_bytes) const;
+
+  std::string describe() const;
+};
+
+// Running totals of injected faults (one counter set per Fabric).
+struct FaultCounters {
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> duplicated{0};
+  std::atomic<std::uint64_t> delayed{0};
+  std::atomic<std::uint64_t> reordered{0};
+  std::atomic<std::uint64_t> truncated{0};
+};
+
+// Plain-value snapshot of FaultCounters (copyable, for RunStats).
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t truncated = 0;
+
+  std::uint64_t total() const {
+    return dropped + duplicated + delayed + reordered + truncated;
+  }
+};
+
+}  // namespace hotlib::parc

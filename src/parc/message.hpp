@@ -18,6 +18,12 @@ inline constexpr int kAnyTag = -1;
 // the runtime's own collective and active-message traffic.
 inline constexpr int kUserTagLimit = 1 << 24;
 
+// Reserved tags of the ABM active-message layer: data batches and the
+// acknowledgements of the reliable (retry/timeout) mode. Collective tags set
+// bit 30 (see Rank::next_collective_tag) and stay disjoint from both.
+inline constexpr int kAmTag = 1 << 29;
+inline constexpr int kAmAckTag = (1 << 29) | 1;
+
 struct Message {
   int source = -1;
   int tag = 0;

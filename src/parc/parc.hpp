@@ -9,6 +9,7 @@
 #pragma once
 
 #include "parc/fabric.hpp"    // IWYU pragma: export
+#include "parc/fault.hpp"     // IWYU pragma: export
 #include "parc/message.hpp"   // IWYU pragma: export
 #include "parc/rank.hpp"      // IWYU pragma: export
 #include "parc/runtime.hpp"   // IWYU pragma: export

@@ -4,8 +4,53 @@
 
 namespace hotlib::parc {
 
+namespace {
+
+// Wire header of a reliable ABM batch. `checksum` (FNV-1a over the record
+// bytes) plus `nbytes` catch truncation; `seq` orders and dedupes batches on
+// the (source, destination) channel; `ack` piggybacks the cumulative ack for
+// the reverse channel, so bidirectional traffic rarely needs standalone ack
+// messages. A retransmitted wire image carries a stale `ack` — harmless,
+// cumulative acks only ever retire batches below the acked sequence.
+struct AmWireHeader {
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint64_t checksum = 0;
+  std::uint32_t nbytes = 0;
+  std::uint32_t nrecords = 0;
+};
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint32_t count_records(std::span<const std::uint8_t> records) {
+  std::uint32_t n = 0;
+  std::size_t pos = 0;
+  while (pos + 8 <= records.size()) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, records.data() + pos + 4, sizeof(len));
+    pos += 8 + len;
+    if (pos > records.size()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
 Rank::Rank(Fabric& fabric, int rank) : fabric_(fabric), rank_(rank) {
   am_batches_.resize(static_cast<std::size_t>(fabric.size()));
+  am_out_.resize(static_cast<std::size_t>(fabric.size()));
+  am_in_.resize(static_cast<std::size_t>(fabric.size()));
+  // An adversarial fabric without the retry layer would simply lose data;
+  // couple them so a fault plan implies reliability.
+  am_reliable_ = fabric.fault_plan().active();
 }
 
 void Rank::send(int dst, int tag, std::span<const std::uint8_t> payload) {
@@ -125,37 +170,186 @@ void Rank::am_post(int dst, int handler, std::span<const std::uint8_t> payload) 
   std::memcpy(buf.data() + pos + sizeof(h), &n, sizeof(n));
   std::memcpy(buf.data() + pos + sizeof(h) + sizeof(n), payload.data(), payload.size());
   ++am_posted_;
-  if (buf.size() >= am_batch_limit_) {
+  if (buf.size() >= am_batch_limit_) am_ship_batch(dst);
+}
+
+void Rank::am_ship_batch(int dst) {
+  Bytes& buf = am_batches_[static_cast<std::size_t>(dst)];
+  if (buf.empty()) return;
+  if (!am_reliable_) {
     send(dst, kAmTag, buf);
     buf.clear();
+    return;
   }
+  AmOutChannel& oc = am_out_[static_cast<std::size_t>(dst)];
+  const std::uint32_t nrecords = count_records(buf);
+  if (oc.dead) {
+    // Bounded retries already gave up on this peer: account the records as
+    // lost instead of queueing unbounded retransmission state.
+    ++oc.abandoned_batches;
+    oc.abandoned_records += nrecords;
+    am_abandoned_ += nrecords;
+    buf.clear();
+    return;
+  }
+  AmWireHeader h;
+  h.seq = oc.next_seq++;
+  h.ack = am_in_[static_cast<std::size_t>(dst)].expected;
+  am_in_[static_cast<std::size_t>(dst)].ack_pending = false;  // piggybacked
+  h.checksum = fnv1a64(buf);
+  h.nbytes = static_cast<std::uint32_t>(buf.size());
+  h.nrecords = nrecords;
+  Bytes wire(sizeof h + buf.size());
+  std::memcpy(wire.data(), &h, sizeof h);
+  std::memcpy(wire.data() + sizeof h, buf.data(), buf.size());
+  buf.clear();
+  send(dst, kAmTag, wire);
+  oc.unacked.push_back({h.seq, std::move(wire), nrecords, 0,
+                        am_tick_ + static_cast<std::uint64_t>(am_retry_.base_timeout_ticks)});
 }
 
 void Rank::am_flush() {
-  for (int d = 0; d < size(); ++d) {
-    Bytes& buf = am_batches_[static_cast<std::size_t>(d)];
-    if (!buf.empty()) {
-      send(d, kAmTag, buf);
-      buf.clear();
+  for (int d = 0; d < size(); ++d) am_ship_batch(d);
+}
+
+std::size_t Rank::am_dispatch_records(int source, std::span<const std::uint8_t> records) {
+  std::size_t dispatched = 0;
+  std::size_t pos = 0;
+  while (pos + 8 <= records.size()) {
+    std::uint32_t h = 0, n = 0;
+    std::memcpy(&h, records.data() + pos, sizeof(h));
+    std::memcpy(&n, records.data() + pos + 4, sizeof(n));
+    pos += 8;
+    if (pos + n > records.size()) break;  // truncated tail: drop, don't overread
+    std::span<const std::uint8_t> body(records.data() + pos, n);
+    pos += n;
+    am_handlers_.at(h)(*this, source, body);
+    ++am_dispatched_;
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void Rank::am_send_ack(int src) {
+  // Cumulative ack: "I have dispatched every batch below `expected`".
+  const std::uint64_t ack = am_in_[static_cast<std::size_t>(src)].expected;
+  send_value(src, kAmAckTag, ack);
+  ++am_acks_sent_;
+  am_in_[static_cast<std::size_t>(src)].ack_pending = false;
+}
+
+void Rank::am_abandon_channel(int dst) {
+  AmOutChannel& oc = am_out_[static_cast<std::size_t>(dst)];
+  // Everything queued behind the failed batch is stuck behind its sequence
+  // gap at the receiver and can never be dispatched in order: give it all up
+  // at once and refuse future traffic so memory stays bounded.
+  for (const auto& u : oc.unacked) {
+    ++oc.abandoned_batches;
+    oc.abandoned_records += u.nrecords;
+    am_abandoned_ += u.nrecords;
+  }
+  oc.unacked.clear();
+  oc.dead = true;
+}
+
+void Rank::am_progress() {
+  ++am_tick_;
+  // Acks first: they retire retransmission state before timers are checked.
+  Message m;
+  while (try_recv(m, kAnySource, kAmAckTag)) {
+    if (m.payload.size() != sizeof(std::uint64_t)) {
+      ++am_corrupt_batches_;  // truncated ack: ignore, a later one supersedes it
+      continue;
     }
+    const std::uint64_t ack = m.as<std::uint64_t>();
+    AmOutChannel& oc = am_out_[static_cast<std::size_t>(m.source)];
+    while (!oc.unacked.empty() && oc.unacked.front().seq < ack) oc.unacked.pop_front();
+  }
+  // Retransmit the oldest unacked batch per channel once its deadline passes
+  // (go-back-one: the cumulative ack scheme re-fills exactly the gap).
+  for (int d = 0; d < size(); ++d) {
+    AmOutChannel& oc = am_out_[static_cast<std::size_t>(d)];
+    if (oc.unacked.empty() || oc.unacked.front().retry_at_tick > am_tick_) continue;
+    auto& u = oc.unacked.front();
+    if (u.attempts >= am_retry_.max_attempts) {
+      am_abandon_channel(d);
+      continue;
+    }
+    ++u.attempts;
+    ++oc.retransmits;
+    send(d, kAmTag, u.wire);
+    const int shift = std::min(u.attempts, am_retry_.max_backoff_shift);
+    u.retry_at_tick =
+        am_tick_ + (static_cast<std::uint64_t>(am_retry_.base_timeout_ticks) << shift);
   }
 }
 
 std::size_t Rank::am_poll() {
   std::size_t dispatched = 0;
+  if (am_reliable_) am_progress();
+  const auto mark_ack_due = [this](AmInChannel& ic) {
+    if (!ic.ack_pending) {
+      ic.ack_pending = true;
+      ic.ack_pending_since = am_tick_;
+    }
+  };
   Message m;
   while (try_recv(m, kAnySource, kAmTag)) {
-    std::size_t pos = 0;
-    while (pos + 8 <= m.payload.size()) {
-      std::uint32_t h = 0, n = 0;
-      std::memcpy(&h, m.payload.data() + pos, sizeof(h));
-      std::memcpy(&n, m.payload.data() + pos + 4, sizeof(n));
-      pos += 8;
-      std::span<const std::uint8_t> body(m.payload.data() + pos, n);
-      pos += n;
-      am_handlers_.at(h)(*this, m.source, body);
-      ++am_dispatched_;
-      ++dispatched;
+    if (!am_reliable_) {
+      dispatched += am_dispatch_records(m.source, m.payload);
+      continue;
+    }
+    AmInChannel& ic = am_in_[static_cast<std::size_t>(m.source)];
+    AmWireHeader h;
+    if (m.payload.size() < sizeof h) {
+      ++am_corrupt_batches_;
+      continue;
+    }
+    std::memcpy(&h, m.payload.data(), sizeof h);
+    std::span<const std::uint8_t> records(m.payload.data() + sizeof h,
+                                          m.payload.size() - sizeof h);
+    if (records.size() != h.nbytes || fnv1a64(records) != h.checksum) {
+      ++am_corrupt_batches_;  // truncated or corrupted: sender will retransmit
+      continue;
+    }
+    // A validated batch carries the reverse channel's cumulative ack for free.
+    AmOutChannel& oc = am_out_[static_cast<std::size_t>(m.source)];
+    while (!oc.unacked.empty() && oc.unacked.front().seq < h.ack) oc.unacked.pop_front();
+    if (h.seq < ic.expected) {
+      // Already dispatched (retransmit raced the ack, or duplication fault).
+      ++am_dup_batches_;
+      mark_ack_due(ic);
+      continue;
+    }
+    if (h.seq > ic.expected) {
+      ++am_ooo_batches_;
+      if (ic.out_of_order.size() < am_retry_.max_ooo_batches)
+        ic.out_of_order.emplace(h.seq, Bytes(records.begin(), records.end()));
+      mark_ack_due(ic);  // duplicate cumulative ack: tells sender the gap
+      continue;
+    }
+    dispatched += am_dispatch_records(m.source, records);
+    ++ic.expected;
+    // Drain whatever the gap was hiding.
+    for (auto it = ic.out_of_order.begin();
+         it != ic.out_of_order.end() && it->first == ic.expected;) {
+      dispatched += am_dispatch_records(m.source, it->second);
+      ++ic.expected;
+      it = ic.out_of_order.erase(it);
+    }
+    // Discard stale buffered batches a retransmission already covered.
+    ic.out_of_order.erase(ic.out_of_order.begin(),
+                          ic.out_of_order.lower_bound(ic.expected));
+    mark_ack_due(ic);
+  }
+  if (am_reliable_) {
+    // Standalone acks go out only once they have aged past ack_delay_ticks
+    // without a reverse-direction batch piggybacking them first.
+    for (int s = 0; s < size(); ++s) {
+      const AmInChannel& ic = am_in_[static_cast<std::size_t>(s)];
+      if (ic.ack_pending &&
+          am_tick_ >= ic.ack_pending_since + static_cast<std::uint64_t>(am_retry_.ack_delay_ticks))
+        am_send_ack(s);
     }
   }
   return dispatched;
@@ -164,18 +358,39 @@ std::size_t Rank::am_poll() {
 void Rank::am_quiesce() {
   struct Counts {
     std::uint64_t posted;
-    std::uint64_t dispatched;
+    std::uint64_t settled;  // dispatched at the receiver or abandoned at the sender
     Counts operator+(const Counts& o) const {
-      return {posted + o.posted, dispatched + o.dispatched};
+      return {posted + o.posted, settled + o.settled};
     }
   };
   for (;;) {
     am_flush();
     while (am_poll() > 0) am_flush();
     am_flush();
-    const Counts totals = allreduce(Counts{am_posted_, am_dispatched_}, Sum{});
-    if (totals.posted == totals.dispatched) return;
+    const Counts totals =
+        allreduce(Counts{am_posted_, am_dispatched_ + am_abandoned_}, Sum{});
+    // A record can be *both* dispatched and abandoned (delivered, but every
+    // ack was lost): >= rather than == keeps that case terminating.
+    if (totals.settled >= totals.posted) return;
   }
+}
+
+AmHealthReport Rank::am_health() const {
+  AmHealthReport r;
+  r.acks_sent = am_acks_sent_;
+  r.duplicate_batches = am_dup_batches_;
+  r.corrupt_batches = am_corrupt_batches_;
+  r.out_of_order_batches = am_ooo_batches_;
+  for (int d = 0; d < size(); ++d) {
+    const AmOutChannel& oc = am_out_[static_cast<std::size_t>(d)];
+    r.retransmits += oc.retransmits;
+    r.abandoned_batches += oc.abandoned_batches;
+    r.abandoned_records += oc.abandoned_records;
+    if (oc.retransmits > 0 || oc.abandoned_batches > 0 || oc.dead)
+      r.peers.push_back({d, oc.retransmits, oc.abandoned_batches,
+                         oc.abandoned_records, oc.dead});
+  }
+  return r;
 }
 
 }  // namespace hotlib::parc

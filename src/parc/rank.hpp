@@ -15,7 +15,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -24,6 +26,46 @@
 #include "parc/message.hpp"
 
 namespace hotlib::parc {
+
+// Retry/timeout knobs of the reliable ABM mode. Timeouts are measured in
+// *progress ticks* (one per am_poll call), not wall or virtual time: ticks
+// are the only clock every rank is guaranteed to advance while it makes
+// progress, so retransmission behaviour cannot depend on host scheduling.
+struct AmRetryParams {
+  int base_timeout_ticks = 8;   // first retransmit after this many ticks
+  int max_backoff_shift = 5;    // exponential backoff capped at base << shift
+  int max_attempts = 12;        // then the batch is abandoned, never hung on
+  std::size_t max_ooo_batches = 64;  // receiver-side out-of-order buffer bound
+  // Standalone acks are delayed this many ticks so a reverse-direction data
+  // batch can piggyback the cumulative ack for free first; only one-sided
+  // traffic pays for dedicated ack messages.
+  int ack_delay_ticks = 2;
+};
+
+// Per-peer entry of the health report (only non-clean peers are listed).
+struct AmPeerHealth {
+  int peer = -1;
+  std::uint64_t retransmits = 0;
+  std::uint64_t abandoned_batches = 0;
+  std::uint64_t abandoned_records = 0;
+  bool dead = false;  // channel gave up: bounded retries exhausted
+};
+
+// What the reliable ABM layer did to survive the fabric. degraded() means
+// data was lost for good (bounded retries exhausted) and the caller must not
+// trust completeness — the graceful alternative to hanging.
+struct AmHealthReport {
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicate_batches = 0;   // received again after dispatch
+  std::uint64_t corrupt_batches = 0;     // checksum/length mismatch (truncation)
+  std::uint64_t out_of_order_batches = 0;  // buffered past a sequence gap
+  std::uint64_t abandoned_batches = 0;
+  std::uint64_t abandoned_records = 0;
+  std::vector<AmPeerHealth> peers;
+
+  bool degraded() const { return abandoned_records > 0; }
+};
 
 // Reduction operators for the typed collectives.
 struct Sum {
@@ -186,6 +228,15 @@ class Rank {
   // dispatches incoming records (handlers may post replies). am_quiesce()
   // runs flush/poll rounds plus global termination detection until no AM
   // traffic is in flight anywhere.
+  //
+  // Reliable mode (automatic when the fabric carries an active FaultPlan,
+  // or forced via am_set_reliable): batches carry per-channel sequence
+  // numbers and a checksum, receivers acknowledge cumulatively, dedupe
+  // duplicates, buffer past gaps, and senders retransmit on tick timeouts
+  // with exponential backoff. After AmRetryParams::max_attempts a batch is
+  // *abandoned* — counted in the health report and in quiescence accounting
+  // — so a dead peer/link degrades the answer instead of hanging the run.
+  // The mode must be uniform across ranks and set before any AM traffic.
   int am_register(AmHandler handler);
   void am_post(int dst, int handler, std::span<const std::uint8_t> payload);
   template <class T>
@@ -194,14 +245,51 @@ class Rank {
     am_post(dst, handler, b);
   }
   void am_flush();
-  // Dispatch queued AM batches; returns number of records dispatched.
+  // Dispatch queued AM batches; returns number of records dispatched. In
+  // reliable mode this also advances the retry clock, processes acks and
+  // retransmits timed-out batches.
   std::size_t am_poll();
   void am_quiesce();
   std::uint64_t am_posted() const { return am_posted_; }
   std::uint64_t am_dispatched() const { return am_dispatched_; }
+  std::uint64_t am_abandoned() const { return am_abandoned_; }
   void am_set_batch_limit(std::size_t bytes) { am_batch_limit_ = bytes; }
 
+  bool am_reliable() const { return am_reliable_; }
+  void am_set_reliable(bool on) { am_reliable_ = on; }
+  void am_set_retry_params(const AmRetryParams& p) { am_retry_ = p; }
+  AmHealthReport am_health() const;
+
  private:
+  // Sender side of one reliable channel (this rank -> peer).
+  struct AmOutChannel {
+    struct Unacked {
+      std::uint64_t seq = 0;
+      Bytes wire;             // header + records, resent verbatim
+      std::uint32_t nrecords = 0;
+      int attempts = 0;
+      std::uint64_t retry_at_tick = 0;
+    };
+    std::uint64_t next_seq = 0;
+    std::deque<Unacked> unacked;
+    std::uint64_t retransmits = 0;
+    std::uint64_t abandoned_batches = 0;
+    std::uint64_t abandoned_records = 0;
+    bool dead = false;
+  };
+  // Receiver side of one reliable channel (peer -> this rank).
+  struct AmInChannel {
+    std::uint64_t expected = 0;  // next in-order batch sequence number
+    std::map<std::uint64_t, Bytes> out_of_order;  // record bytes past a gap
+    bool ack_pending = false;
+    std::uint64_t ack_pending_since = 0;  // tick the oldest unsent ack was due
+  };
+
+  void am_ship_batch(int dst);
+  std::size_t am_dispatch_records(int source, std::span<const std::uint8_t> records);
+  void am_progress();
+  void am_abandon_channel(int dst);
+  void am_send_ack(int src);
   Bytes broadcast_bytes(Bytes value, int root);
   std::vector<Bytes> allgather_bytes(Bytes mine);
 
@@ -212,7 +300,6 @@ class Rank {
     const int seq = coll_seq_++ & 0xFFFFF;
     return (1 << 30) | (seq << 4) | (round & 0xF);
   }
-  static constexpr int kAmTag = 1 << 29;
 
   static int relabel(int r, int root, int p) { return (r - root + p) % p; }
   static int unlabel(int r, int root, int p) { return (r + root) % p; }
@@ -227,6 +314,17 @@ class Rank {
   std::size_t am_batch_limit_ = 1 << 16;
   std::uint64_t am_posted_ = 0;
   std::uint64_t am_dispatched_ = 0;
+  std::uint64_t am_abandoned_ = 0;
+
+  bool am_reliable_ = false;
+  AmRetryParams am_retry_;
+  std::uint64_t am_tick_ = 0;  // advances once per am_poll
+  std::vector<AmOutChannel> am_out_;  // one per destination
+  std::vector<AmInChannel> am_in_;    // one per source
+  std::uint64_t am_acks_sent_ = 0;
+  std::uint64_t am_dup_batches_ = 0;
+  std::uint64_t am_corrupt_batches_ = 0;
+  std::uint64_t am_ooo_batches_ = 0;
 };
 
 }  // namespace hotlib::parc

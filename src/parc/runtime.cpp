@@ -8,11 +8,13 @@
 namespace hotlib::parc {
 
 RunStats Runtime::run(int nranks, const std::function<void(Rank&)>& body,
-                      NetworkParams net) {
+                      NetworkParams net, FaultPlan faults) {
   if (nranks <= 0) throw std::invalid_argument("parc::Runtime: nranks must be positive");
 
-  Fabric fabric(nranks, net);
+  Fabric fabric(nranks, net, faults);
   std::vector<double> clocks(static_cast<std::size_t>(nranks), 0.0);
+  std::vector<std::uint64_t> retransmits(static_cast<std::size_t>(nranks), 0);
+  std::vector<std::uint64_t> abandoned(static_cast<std::size_t>(nranks), 0);
   std::exception_ptr first_error;
   std::mutex error_mu;
 
@@ -28,6 +30,9 @@ RunStats Runtime::run(int nranks, const std::function<void(Rank&)>& body,
         if (!first_error) first_error = std::current_exception();
       }
       clocks[static_cast<std::size_t>(r)] = rank.vclock();
+      const AmHealthReport health = rank.am_health();
+      retransmits[static_cast<std::size_t>(r)] = health.retransmits;
+      abandoned[static_cast<std::size_t>(r)] = health.abandoned_records;
     });
   }
   for (auto& t : threads) t.join();
@@ -37,6 +42,9 @@ RunStats Runtime::run(int nranks, const std::function<void(Rank&)>& body,
   for (double c : clocks) stats.max_vclock = std::max(stats.max_vclock, c);
   stats.messages = fabric.messages_delivered();
   stats.bytes = fabric.bytes_delivered();
+  stats.faults = fabric.fault_stats();
+  for (std::uint64_t v : retransmits) stats.retransmits += v;
+  for (std::uint64_t v : abandoned) stats.abandoned_records += v;
   return stats;
 }
 

@@ -20,22 +20,30 @@ struct RunStats {
   double max_vclock = 0.0;   // modelled makespan (seconds of virtual time)
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  FaultStats faults;              // injected-fault totals (zero without a plan)
+  std::uint64_t retransmits = 0;  // reliable-ABM retries summed over ranks
+  std::uint64_t abandoned_records = 0;  // lost for good after bounded retries
+  bool degraded() const { return abandoned_records > 0; }
 };
 
 class Runtime {
  public:
   // Execute body on nranks concurrent ranks; rethrows the first rank failure.
+  // An active FaultPlan makes the fabric adversarial (and switches every
+  // rank's ABM layer to reliable mode).
   static RunStats run(int nranks, const std::function<void(Rank&)>& body,
-                      NetworkParams net = {});
+                      NetworkParams net = {}, FaultPlan faults = {});
 
   // As run(), but collects body's return value per rank into `results`.
   template <class T>
   static RunStats run_collect(int nranks, const std::function<T(Rank&)>& body,
-                              std::vector<T>& results, NetworkParams net = {}) {
+                              std::vector<T>& results, NetworkParams net = {},
+                              FaultPlan faults = {}) {
     results.assign(static_cast<std::size_t>(nranks), T{});
     return run(
         nranks,
-        [&](Rank& r) { results[static_cast<std::size_t>(r.rank())] = body(r); }, net);
+        [&](Rank& r) { results[static_cast<std::size_t>(r.rank())] = body(r); }, net,
+        faults);
   }
 };
 

@@ -1,0 +1,149 @@
+#include "harness/differential.hpp"
+
+#include <algorithm>
+
+#include "gravity/direct.hpp"
+#include "gravity/models.hpp"
+#include "gravity/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hotlib::harness {
+
+hot::Bodies make_particles(std::size_t n, std::uint64_t seed) {
+  if (seed % 2 == 0) return gravity::plummer_sphere(n, seed);
+  hot::Bodies b;
+  Xoshiro256ss rng(seed);
+  const double m = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b.push_back(rng.in_cube(), {}, m, static_cast<std::uint64_t>(i));
+  return b;
+}
+
+parc::FaultPlan random_fault_plan(std::uint64_t seed, double intensity) {
+  Xoshiro256ss rng(seed ^ 0xfa17ULL);
+  // Five non-negative weights summing to 1 split the intensity budget.
+  double w[5];
+  double total = 0;
+  for (double& x : w) total += (x = rng.uniform());
+  parc::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = intensity * w[0] / total;
+  plan.duplicate_prob = intensity * w[1] / total;
+  plan.delay_prob = intensity * w[2] / total;
+  plan.reorder_prob = intensity * w[3] / total;
+  plan.truncate_prob = intensity * w[4] / total;
+  plan.max_delay_deliveries = 1 + static_cast<int>(rng.next() % 6);
+  return plan;
+}
+
+double mac_error_bound(double theta) { return std::max(0.02, 0.15 * theta * theta); }
+
+namespace {
+
+// Round-robin scatter of the global set onto this rank (ids are preserved,
+// so results can be written back to global arrays).
+hot::Bodies scatter(const hot::Bodies& all, int rank, int ranks) {
+  hot::Bodies local;
+  for (std::size_t i = static_cast<std::size_t>(rank); i < all.size();
+       i += static_cast<std::size_t>(ranks))
+    local.append_from(all, i);
+  return local;
+}
+
+double rel_rms(const std::vector<Vec3d>& a, const std::vector<Vec3d>& b) {
+  RunningStats diff, mag;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff.add(norm(a[i] - b[i]));
+    mag.add(norm(b[i]));
+  }
+  return mag.rms() > 0 ? diff.rms() / mag.rms() : 0.0;
+}
+
+}  // namespace
+
+PipelineForces run_abm(const Scenario& sc) {
+  const hot::Bodies all = make_particles(sc.n, sc.seed);
+  const morton::Domain domain = gravity::fit_domain(all);
+  const gravity::TreeForceConfig cfg{.mac = hot::Mac{.theta = sc.theta},
+                                     .softening = sc.softening};
+
+  PipelineForces out;
+  out.acc.assign(sc.n, {});
+  out.pot.assign(sc.n, 0.0);
+  out.run = parc::Runtime::run(
+      sc.ranks,
+      [&](parc::Rank& r) {
+        hot::Bodies local = scatter(all, r.rank(), sc.ranks);
+        const auto res = gravity::abm_tree_forces(r, local, domain, cfg);
+        for (std::size_t i = 0; i < local.size(); ++i) {
+          out.acc[local.id[i]] = local.acc[i];
+          out.pot[local.id[i]] = local.pot[i];
+        }
+        // Sum the traversal and delivery accounting over ranks; only rank 0
+        // writes the aggregate back (the join publishes it to the caller).
+        hot::DistributedTree::Stats t = res.traversal;
+        t.requests_sent = r.allreduce(t.requests_sent, parc::Sum{});
+        t.replies_served = r.allreduce(t.replies_served, parc::Sum{});
+        t.cache_hits = r.allreduce(t.cache_hits, parc::Sum{});
+        t.suspensions = r.allreduce(t.suspensions, parc::Sum{});
+        t.rerequest_rounds = r.allreduce(t.rerequest_rounds, parc::Sum{});
+        t.lost_keys = r.allreduce(t.lost_keys, parc::Sum{});
+        t.tally.body_body = r.allreduce(t.tally.body_body, parc::Sum{});
+        t.tally.body_cell = r.allreduce(t.tally.body_cell, parc::Sum{});
+        t.tally.mac_tests = r.allreduce(t.tally.mac_tests, parc::Sum{});
+        t.tally.cells_opened = r.allreduce(t.tally.cells_opened, parc::Sum{});
+        const std::uint64_t posted = r.allreduce(r.am_posted(), parc::Sum{});
+        const std::uint64_t dispatched = r.allreduce(r.am_dispatched(), parc::Sum{});
+        const std::uint64_t abandoned = r.allreduce(r.am_abandoned(), parc::Sum{});
+        if (r.rank() == 0) {
+          out.traversal = t;
+          out.am_posted = posted;
+          out.am_dispatched = dispatched;
+          out.am_abandoned = abandoned;
+        }
+      },
+      sc.net, sc.faults);
+  return out;
+}
+
+DifferentialResult run_differential(const Scenario& sc) {
+  DifferentialResult res;
+  res.bound = mac_error_bound(sc.theta);
+
+  const hot::Bodies all = make_particles(sc.n, sc.seed);
+  const morton::Domain domain = gravity::fit_domain(all);
+  const gravity::TreeForceConfig cfg{.mac = hot::Mac{.theta = sc.theta},
+                                     .softening = sc.softening};
+
+  // Ground truth: serial O(N^2).
+  res.direct_acc.assign(sc.n, {});
+  std::vector<double> direct_pot(sc.n, 0.0);
+  gravity::direct_forces(all.pos, all.mass, sc.softening, cfg.G, res.direct_acc,
+                         direct_pot);
+
+  // ABM request-driven traversal under the fault plan.
+  res.abm = run_abm(sc);
+
+  // LET-push pipeline on a clean fabric.
+  res.let.acc.assign(sc.n, {});
+  res.let.pot.assign(sc.n, 0.0);
+  res.let.run = parc::Runtime::run(
+      sc.ranks,
+      [&](parc::Rank& r) {
+        hot::Bodies local = scatter(all, r.rank(), sc.ranks);
+        gravity::parallel_tree_forces(r, local, domain, cfg);
+        for (std::size_t i = 0; i < local.size(); ++i) {
+          res.let.acc[local.id[i]] = local.acc[i];
+          res.let.pot[local.id[i]] = local.pot[i];
+        }
+      },
+      sc.net);
+
+  res.abm_vs_direct = rel_rms(res.abm.acc, res.direct_acc);
+  res.let_vs_direct = rel_rms(res.let.acc, res.direct_acc);
+  res.abm_vs_let = rel_rms(res.abm.acc, res.let.acc);
+  return res;
+}
+
+}  // namespace hotlib::harness

@@ -1,0 +1,84 @@
+// differential.hpp — randomized differential test harness for the parallel
+// force pipelines under an adversarial fabric.
+//
+// A Scenario is fully determined by a seed: the particle set (alternating
+// Plummer sphere / uniform cube), the fault plan, and the MAC. The harness
+// runs the same problem through three independent solvers —
+//
+//   * serial direct summation           (ground truth, no communication)
+//   * LET-push pipeline                 (fault-free fabric)
+//   * ABM request-driven traversal      (fabric driven by the fault plan)
+//
+// — and reports relative RMS force errors plus the ABM layer's delivery
+// accounting, so tests can assert (a) force agreement within the MAC error
+// bound, (b) exactly-once record delivery, and (c) that injected faults
+// actually fired. Reliability is the property under test: with drops,
+// duplicates, delays, reorders and truncations in flight, the ABM forces
+// must be *bit-identical* to a fault-free run, because the retry layer
+// delivers every record exactly once and in channel order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gravity/abm_forces.hpp"
+#include "hot/bodies.hpp"
+#include "hot/dtree.hpp"
+#include "parc/parc.hpp"
+#include "util/vec3.hpp"
+
+namespace hotlib::harness {
+
+struct Scenario {
+  std::size_t n = 1200;
+  int ranks = 4;
+  std::uint64_t seed = 1;    // drives the particle set shape and positions
+  double theta = 0.4;
+  double softening = 0.02;
+  parc::FaultPlan faults;    // applied to the ABM run's fabric
+  parc::NetworkParams net;   // optional machine model (default: free network)
+};
+
+// Seeded particle set: even seeds draw a Plummer sphere, odd seeds a uniform
+// cube, so the sweep exercises both clustered and homogeneous trees.
+hot::Bodies make_particles(std::size_t n, std::uint64_t seed);
+
+// Seeded fault plan whose drop/duplicate/delay/reorder/truncate probabilities
+// sum to roughly `intensity` (split at random between the five).
+parc::FaultPlan random_fault_plan(std::uint64_t seed, double intensity);
+
+// Relative RMS acceleration error budget for an opening angle: the loose
+// empirical envelope of the monopole+quadrupole MAC used across this repo's
+// accuracy tests (theta = 0.4 sits near 2e-2).
+double mac_error_bound(double theta);
+
+struct PipelineForces {
+  std::vector<Vec3d> acc;    // indexed by global body id
+  std::vector<double> pot;
+  parc::RunStats run;        // fabric totals incl. fault + retry counters
+  // ABM pipeline only: traversal stats and AM record accounting summed over
+  // ranks (requests, suspensions, lost keys, posted/dispatched/abandoned).
+  hot::DistributedTree::Stats traversal;
+  std::uint64_t am_posted = 0;
+  std::uint64_t am_dispatched = 0;
+  std::uint64_t am_abandoned = 0;
+};
+
+struct DifferentialResult {
+  PipelineForces abm;
+  PipelineForces let;
+  std::vector<Vec3d> direct_acc;
+  double abm_vs_direct = 0.0;  // relative RMS acceleration errors
+  double let_vs_direct = 0.0;
+  double abm_vs_let = 0.0;
+  double bound = 0.0;          // mac_error_bound(theta) for convenience
+};
+
+// Run all three solvers on the scenario. Deterministic given the scenario:
+// repeated calls produce bit-identical forces.
+DifferentialResult run_differential(const Scenario& sc);
+
+// Run only the ABM pipeline (used for bit-exactness and determinism checks).
+PipelineForces run_abm(const Scenario& sc);
+
+}  // namespace hotlib::harness

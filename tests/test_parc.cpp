@@ -248,6 +248,48 @@ TEST(ParcAbm, CascadedHandlersTerminate) {
   });
 }
 
+TEST(ParcNetworkParams, TransferTimeIsLatencyPlusBytesOverBandwidth) {
+  NetworkParams net{.latency_s = 1e-3, .bandwidth_Bps = 1e6};
+  EXPECT_DOUBLE_EQ(net.transfer_time(0), 1e-3);
+  EXPECT_DOUBLE_EQ(net.transfer_time(500000), 1e-3 + 0.5);
+  // Zero bandwidth means infinite: transfer cost degenerates to latency.
+  NetworkParams infinite{.latency_s = 2e-3, .bandwidth_Bps = 0.0};
+  EXPECT_DOUBLE_EQ(infinite.transfer_time(1 << 30), 2e-3);
+}
+
+TEST(ParcNetworkParams, EffectiveLatencyAddsBothOverheads) {
+  // The LogP software-to-software latency of a small message: wire latency
+  // plus the per-message CPU occupancy charged at *both* endpoints.
+  NetworkParams net{.latency_s = 100e-6, .overhead_s = 54e-6};
+  EXPECT_DOUBLE_EQ(net.effective_latency(), 100e-6 + 2 * 54e-6);
+  EXPECT_DOUBLE_EQ(NetworkParams{}.effective_latency(), 0.0);
+}
+
+TEST(ParcNetworkParams, ComputeTimeScalesWithRate) {
+  NetworkParams net{.flops_per_s = 200e6};
+  EXPECT_DOUBLE_EQ(net.compute_time(100e6), 0.5);
+  // Zero rate means compute is free (pure correctness mode).
+  EXPECT_DOUBLE_EQ(NetworkParams{}.compute_time(1e12), 0.0);
+}
+
+TEST(ParcNetworkParams, OverheadChargedAtSenderAndReceiver) {
+  // One small message: the sender's clock advances by o at send; the
+  // receiver ends at depart + latency + o = 2o + L total — the virtual
+  // clock realises effective_latency() end to end.
+  NetworkParams net{.latency_s = 1e-3, .bandwidth_Bps = 0, .overhead_s = 250e-6};
+  std::vector<double> clocks;
+  Runtime::run_collect<double>(
+      2,
+      [](Rank& r) {
+        if (r.rank() == 0) r.send_value(1, 3, 1);
+        else (void)r.recv(0, 3);
+        return r.vclock();
+      },
+      clocks, net);
+  EXPECT_DOUBLE_EQ(clocks[0], 250e-6);
+  EXPECT_DOUBLE_EQ(clocks[1], net.effective_latency());
+}
+
 TEST(ParcVclock, ComputeChargesAdvanceClock) {
   NetworkParams net{.latency_s = 1e-4, .bandwidth_Bps = 1e7, .flops_per_s = 1e8};
   const RunStats stats = Runtime::run(
@@ -292,6 +334,159 @@ TEST(ParcVclock, CausalityThroughForwardChain) {
       },
       net);
   EXPECT_NEAR(stats.max_vclock, 1.0, 1e-9);
+}
+
+// ---- fault injection + reliable ABM mode ----
+
+TEST(ParcFaults, DrawsAreDeterministicAndSeedSensitive) {
+  FaultPlan plan{.seed = 9, .drop_prob = 0.3, .duplicate_prob = 0.2,
+                 .delay_prob = 0.2, .reorder_prob = 0.2, .truncate_prob = 0.1};
+  int differs = 0;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const FaultDraw a = plan.draw(0, 1, s, 64);
+    const FaultDraw b = plan.draw(0, 1, s, 64);
+    EXPECT_EQ(a.drop, b.drop);
+    EXPECT_EQ(a.duplicate, b.duplicate);
+    EXPECT_EQ(a.reorder, b.reorder);
+    EXPECT_EQ(a.delay_deliveries, b.delay_deliveries);
+    EXPECT_EQ(a.truncate_to, b.truncate_to);
+    FaultPlan other = plan;
+    other.seed = 10;
+    const FaultDraw c = other.draw(0, 1, s, 64);
+    if (a.drop != c.drop || a.duplicate != c.duplicate) ++differs;
+  }
+  EXPECT_GT(differs, 10);  // a different seed is a different adversary
+}
+
+TEST(ParcFaults, ScopeExemptsCollectivesAndUserTags) {
+  FaultPlan plan{.drop_prob = 1.0};
+  EXPECT_TRUE(plan.applies(kAmTag));
+  EXPECT_TRUE(plan.applies(kAmAckTag));
+  EXPECT_FALSE(plan.applies(3));               // user tag, default scope
+  EXPECT_FALSE(plan.applies(1 << 30));         // collective: always exempt
+  plan.include_user_tags = true;
+  EXPECT_TRUE(plan.applies(3));
+  EXPECT_FALSE(plan.applies(1 << 30));
+  EXPECT_FALSE(FaultPlan{}.applies(kAmTag));   // inactive plan faults nothing
+}
+
+TEST(ParcFaults, CollectivesSurviveAnActivePlan) {
+  // Collective traffic is out of scope by construction; a hostile plan must
+  // not perturb reductions or barriers.
+  FaultPlan plan{.seed = 3, .drop_prob = 0.5, .duplicate_prob = 0.3};
+  Runtime::run(
+      4,
+      [](Rank& r) {
+        for (int i = 0; i < 20; ++i) {
+          EXPECT_EQ(r.allreduce(r.rank(), Sum{}), 6);
+          r.barrier();
+        }
+      },
+      {}, plan);
+}
+
+TEST(ParcFaults, ReliableModeAutoEnablesWithPlan) {
+  FaultPlan plan{.seed = 1, .drop_prob = 0.1};
+  Runtime::run(2, [](Rank& r) { EXPECT_TRUE(r.am_reliable()); }, {}, plan);
+  Runtime::run(2, [](Rank& r) { EXPECT_FALSE(r.am_reliable()); });
+}
+
+TEST(ParcFaults, ReliableDeliveryIsExactlyOnceAndInOrder) {
+  // 500 records through a fabric that drops, duplicates, delays, reorders
+  // and truncates: the receiver must see 0..499 exactly once, in order.
+  FaultPlan plan{.seed = 1234, .drop_prob = 0.15, .duplicate_prob = 0.10,
+                 .delay_prob = 0.10, .reorder_prob = 0.15, .truncate_prob = 0.10};
+  const RunStats stats = Runtime::run(
+      2,
+      [](Rank& r) {
+        std::vector<int> seen;
+        const int h = r.am_register([&seen](Rank&, int, std::span<const std::uint8_t> b) {
+          Message m;
+          m.payload.assign(b.begin(), b.end());
+          seen.push_back(m.as<int>());
+        });
+        if (r.rank() == 0) {
+          r.am_set_batch_limit(256);  // many small batches => many fault draws
+          for (int i = 0; i < 500; ++i) r.am_post_value(1, h, i);
+        }
+        r.am_quiesce();
+        if (r.rank() == 1) {
+          ASSERT_EQ(seen.size(), 500u);
+          for (int i = 0; i < 500; ++i) ASSERT_EQ(seen[static_cast<std::size_t>(i)], i);
+          const auto health = r.am_health();
+          EXPECT_FALSE(health.degraded());
+        }
+        EXPECT_EQ(r.am_abandoned(), 0u);
+      },
+      {}, plan);
+  EXPECT_GT(stats.faults.total(), 0u);
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_EQ(stats.abandoned_records, 0u);
+}
+
+TEST(ParcFaults, ReliableModeWithoutFaultsIsTransparent) {
+  // Forced reliability on a clean fabric: same semantics, acks flow, no
+  // retransmits needed (quiescence outpaces every timeout).
+  Runtime::run(3, [](Rank& r) {
+    r.am_set_reliable(true);
+    std::vector<int> seen;
+    const int h = r.am_register([&seen](Rank&, int, std::span<const std::uint8_t> b) {
+      Message m;
+      m.payload.assign(b.begin(), b.end());
+      seen.push_back(m.as<int>());
+    });
+    for (int d = 0; d < r.size(); ++d)
+      if (d != r.rank())
+        for (int i = 0; i < 50; ++i) r.am_post_value(d, h, i);
+    r.am_quiesce();
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(r.am_health().abandoned_records, 0u);
+  });
+}
+
+TEST(ParcFaults, BoundedRetriesAbandonAndQuiesceStillTerminates) {
+  // A black-hole link: every AM message vanishes. Bounded retries must give
+  // up, surface the loss in the health report, and am_quiesce must still
+  // terminate via the abandoned-record accounting.
+  FaultPlan blackhole{.seed = 2, .drop_prob = 1.0};
+  const RunStats stats = Runtime::run(
+      2,
+      [](Rank& r) {
+        r.am_set_retry_params({.base_timeout_ticks = 1, .max_backoff_shift = 1,
+                               .max_attempts = 2});
+        int got = 0;
+        const int h = r.am_register(
+            [&got](Rank&, int, std::span<const std::uint8_t>) { ++got; });
+        if (r.rank() == 0) for (int i = 0; i < 10; ++i) r.am_post_value(1, h, i);
+        r.am_quiesce();
+        if (r.rank() == 0) {
+          EXPECT_EQ(r.am_abandoned(), 10u);
+          const auto health = r.am_health();
+          EXPECT_TRUE(health.degraded());
+          ASSERT_EQ(health.peers.size(), 1u);
+          EXPECT_EQ(health.peers[0].peer, 1);
+          EXPECT_TRUE(health.peers[0].dead);
+          EXPECT_GT(health.retransmits, 0u);
+        } else {
+          EXPECT_EQ(got, 0);
+        }
+      },
+      {}, blackhole);
+  EXPECT_EQ(stats.abandoned_records, 10u);
+}
+
+TEST(ParcFaults, DelayedMessagesCannotDeadlockBlockingRecv) {
+  // User-tag scope + 100% delay probability: a blocking recv must still get
+  // the message (deferred mail is force-released before the receiver waits).
+  FaultPlan plan{.seed = 6, .delay_prob = 1.0, .max_delay_deliveries = 4,
+                 .include_user_tags = true};
+  Runtime::run(
+      2,
+      [](Rank& r) {
+        if (r.rank() == 0) r.send_value(1, 5, 77);
+        else EXPECT_EQ(r.recv_value<int>(0, 5), 77);
+      },
+      {}, plan);
 }
 
 TEST(ParcRuntime, PropagatesExceptions) {
