@@ -20,15 +20,17 @@
 #include "gravity/parallel.hpp"
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace hotlib;
 
 int main() {
+  telemetry::Session session("abm");
   std::printf("=== Ablation: LET push vs ABM request-driven traversal ===\n\n");
 
-  const std::size_t n = 20000;
+  const std::size_t n = telemetry::tiny_run() ? 1500 : 20000;
   auto all = gravity::plummer_sphere(n, 1997);
   const auto domain = gravity::fit_domain(all);
   const gravity::TreeForceConfig cfg{.mac = hot::Mac{.theta = 0.35}, .softening = 0.02};
@@ -95,6 +97,7 @@ int main() {
                  TextTable::integer(static_cast<long long>(bytes)),
                  TextTable::integer(static_cast<long long>(msgs)),
                  TextTable::num(w.seconds(), 2), TextTable::num(vtime, 3)});
+      if (p == 8) session.set_modelled_seconds(vtime);
       std::printf("  (p=%d: %llu key requests, %llu replicated crown cells)\n", p,
                   static_cast<unsigned long long>(requests),
                   static_cast<unsigned long long>(crown));

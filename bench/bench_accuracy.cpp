@@ -16,6 +16,7 @@
 #include "gravity/evaluator.hpp"
 #include "gravity/models.hpp"
 #include "hot/hot.hpp"
+#include "telemetry/report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -51,8 +52,9 @@ Measurement measure(const hot::Bodies& bodies, const std::vector<Vec3d>& ref_acc
 }  // namespace
 
 int main() {
+  telemetry::Session session("accuracy");
   std::printf("=== Force accuracy & MAC ablations (paper: RMS error better than 1e-3) ===\n\n");
-  const std::size_t n = 4000;
+  const std::size_t n = telemetry::tiny_run() ? 500 : 4000;
   const auto bodies = gravity::plummer_sphere(n, 1234);
   std::vector<Vec3d> ref_acc(n);
   std::vector<double> ref_pot(n);
@@ -66,6 +68,7 @@ int main() {
   TextTable bh({"theta", "RMS rel err", "max rel err", "ints/particle", "vs N^2"});
   for (double theta : {1.0, 0.8, 0.6, 0.45, 0.35, 0.25, 0.15}) {
     const auto m = measure(bodies, ref_acc, ref_rms, hot::Mac{.theta = theta}, 16);
+    if (theta == 0.35) session.metric("rms_rel_err_theta035", m.rms_rel);
     bh.add_row({TextTable::num(theta, 2), TextTable::num(m.rms_rel * 1e3, 3) + "e-3",
                 TextTable::num(m.max_rel * 1e3, 2) + "e-3",
                 TextTable::num(static_cast<double>(m.interactions) / n, 0),

@@ -15,6 +15,7 @@
 
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -49,14 +50,16 @@ std::pair<double, double> ping_pong(std::size_t bytes, int reps, NetworkParams n
 }  // namespace
 
 int main() {
+  telemetry::Session session("comm");
   std::printf("=== Network microbenchmarks (paper: Red 290 MB/s & 41-68 us RT; Loki 11.5 MB/s & 208 us RT) ===\n\n");
 
   const auto loki = simnet::loki();
   const auto red = simnet::asci_red_april97();
+  const bool tiny = telemetry::tiny_run();
 
   // Latency: zero-byte ping-pong.
   {
-    const int reps = 2000;
+    const int reps = tiny ? 100 : 2000;
     const auto [host_s, _] = ping_pong(1, reps, {});
     const auto [h1, loki_v] = ping_pong(1, reps, loki.net);
     const auto [h2, red_v] = ping_pong(1, reps, red.net);
@@ -67,13 +70,14 @@ int main() {
     t.add_row({"Loki model", TextTable::num(loki_v / reps * 1e6, 1) + " us", "208 us"});
     t.add_row({"ASCI Red model", TextTable::num(red_v / reps * 1e6, 1) + " us",
                "41 us (co-processor mode)"});
+    session.metric("loki_roundtrip_us", loki_v / reps * 1e6);
     std::printf("Ping-pong latency (1-byte messages):\n%s\n", t.to_string().c_str());
   }
 
   // Bandwidth: large-message streaming.
   {
-    const std::size_t bytes = 1 << 20;
-    const int reps = 20;
+    const std::size_t bytes = tiny ? (1 << 16) : (1 << 20);
+    const int reps = tiny ? 4 : 20;
     const auto [host_s, _] = ping_pong(bytes, reps, {});
     const auto [h1, loki_v] = ping_pong(bytes, reps, loki.net);
     const auto [h2, red_v] = ping_pong(bytes, reps, red.net);
@@ -101,7 +105,7 @@ int main() {
             r.am_set_batch_limit(batched ? (1u << 16) : 1);
             const int h = r.am_register([](Rank&, int, std::span<const std::uint8_t>) {});
             hotlib::Xoshiro256ss rng(static_cast<std::uint64_t>(r.rank()) + 1);
-            for (int i = 0; i < 10000; ++i) {
+            for (int i = 0; i < (tiny ? 500 : 10000); ++i) {
               const int dst = static_cast<int>(rng.next() % 4u);
               if (dst != r.rank()) r.am_post_value(dst, h, i);
             }

@@ -16,6 +16,7 @@
 #include "hot/hash_table.hpp"
 #include "hot/tree.hpp"
 #include "morton/key.hpp"
+#include "telemetry/report.hpp"
 #include "util/rng.hpp"
 
 using namespace hotlib;
@@ -167,4 +168,17 @@ BENCHMARK(BM_TreeForces)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so a telemetry::Session wraps the run (writing
+// BENCH_kernels.json) and HOTLIB_BENCH_TINY can restrict the suite to two
+// fast kernels for the bench-smoke slice.
+int main(int argc, char** argv) {
+  telemetry::Session session("kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (telemetry::tiny_run())
+    benchmark::RunSpecifiedBenchmarks("BM_KarpRsqrt$|BM_MortonKey$");
+  else
+    benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "gravity/models.hpp"
 #include "morton/hilbert.hpp"
 #include "morton/key.hpp"
+#include "telemetry/report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -67,11 +68,13 @@ CurveMetrics measure(const std::vector<Vec3d>& pts, const morton::Domain& d,
 }  // namespace
 
 int main() {
+  telemetry::Session session("keys");
   std::printf("=== Ablation: Morton vs Hilbert key ordering ===\n\n");
+  const std::size_t n = telemetry::tiny_run() ? 2000 : 50000;
   for (const char* dist : {"uniform", "clustered"}) {
     const bool clustered = dist[0] == 'c';
-    hot::Bodies b = clustered ? gravity::plummer_sphere(50000, 9)
-                              : gravity::uniform_cube(50000, 9);
+    hot::Bodies b =
+        clustered ? gravity::plummer_sphere(n, 9) : gravity::uniform_cube(n, 9);
     const morton::Domain d = gravity::fit_domain(b);
     const auto morton_m = measure(b.pos, d, [](const Vec3d& p, const morton::Domain& dd) {
       return morton::key_from_position(p, dd);
@@ -86,7 +89,11 @@ int main() {
     t.add_row({"Hilbert", TextTable::num(hilbert_m.mean_jump, 4),
                TextTable::num(hilbert_m.segment_area, 4),
                TextTable::num(hilbert_m.keys_per_second / 1e6, 1) + "M"});
-    std::printf("%s points (50k):\n%s\n", dist, t.to_string().c_str());
+    if (clustered) {
+      session.metric("morton_keys_per_s", morton_m.keys_per_second);
+      session.metric("hilbert_keys_per_s", hilbert_m.keys_per_second);
+    }
+    std::printf("%s points (%zu):\n%s\n", dist, n, t.to_string().c_str());
   }
   std::printf(
       "Shape checks: Hilbert's jump distance is smaller (every curve step is\n"

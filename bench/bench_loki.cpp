@@ -17,16 +17,19 @@
 #include "machine/prices.hpp"
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace hotlib;
 
 int main() {
+  telemetry::Session session("loki");
   std::printf("=== E5: Loki 9.75M-body cosmology (paper: 1.19 Gflops early, 879 Mflops sustained, $58/Mflop) ===\n\n");
 
+  const bool tiny = telemetry::tiny_run();
   cosmo::SimConfig cfg;
-  cfg.ics.grid_n = 16;
+  cfg.ics.grid_n = tiny ? 8 : 16;
   cfg.ics.box_mpc = 100.0;
   cfg.ics.spectrum.amplitude = 60.0;
   cfg.ics.growth = 4.0;
@@ -34,7 +37,7 @@ int main() {
   cfg.dt = 0.8;
   cfg.mac.theta = 0.35;
 
-  const int steps = 6;
+  const int steps = tiny ? 2 : 6;
   std::vector<double> ipp_series(static_cast<std::size_t>(steps), 0.0);
   std::vector<double> imbalance_series(static_cast<std::size_t>(steps), 0.0);
   std::uint64_t total_bodies = 0;
@@ -78,6 +81,8 @@ int main() {
                    "36973 s, 1.19 Gflops"});
     const double ipp_run = 1.97e13 / (9.75e6 * 750);
     const auto run = simnet::project_tree_run(loki, 9.75e6, 750, ipp_run, true);
+    session.metric("mflops_model_sustained", run.gflops() * 1000);
+    session.set_modelled_seconds(run.seconds);
     model.add_row({"750-step production run",
                    TextTable::num(run.seconds / 86400, 1) + " days, " +
                        TextTable::num(run.gflops() * 1000, 0) + " Mflops",

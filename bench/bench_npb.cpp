@@ -28,6 +28,7 @@
 #include "npb/mg.hpp"
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -142,7 +143,9 @@ ModelResult model_run(const Kernel& k, int ranks, parc::NetworkParams net,
 }  // namespace
 
 int main() {
+  telemetry::Session session("npb");
   std::printf("=== Tables 3-4 / Figure 3: NAS Parallel Benchmarks on parc + machine model ===\n\n");
+  const bool tiny = telemetry::tiny_run();
   const auto ks = kernels();
 
   // ---- Correctness + host-measured rates (serial) --------------------------
@@ -161,7 +164,8 @@ int main() {
 
   // ---- Table 4 + Figure 3: Class A scaling on Loki --------------------------
   const auto loki = simnet::loki();
-  const std::vector<int> rank_counts{1, 2, 4, 8, 16};
+  const std::vector<int> rank_counts =
+      tiny ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
   TextTable t4_head_builder = [] {
     std::vector<std::string> h{"kernel"};
     for (int p : {1, 2, 4, 8, 16}) h.push_back("P=" + std::to_string(p));
@@ -206,12 +210,13 @@ int main() {
   const auto origin = simnet::origin2000_16();
   TextTable t3({"kernel", "Loki PGI", "Loki GNU", "ASCI Red", "Origin",
                 "paper (B): Loki/GNU/Red/Origin"});
+  const int cmp_ranks = tiny ? 4 : 16;
   for (const auto& k : ks) {
     if (k.name == "CG (extra)") continue;
-    const double pgi = model_run(k, 16, loki.net, k.loki_rate).mops;
-    const double gnu = model_run(k, 16, loki.net, 0.92 * k.loki_rate).mops;
-    const double red = model_run(k, 16, red16.net, 1.25 * k.loki_rate).mops;
-    const double org = model_run(k, 16, origin.net, 2.8 * k.loki_rate).mops;
+    const double pgi = model_run(k, cmp_ranks, loki.net, k.loki_rate).mops;
+    const double gnu = model_run(k, cmp_ranks, loki.net, 0.92 * k.loki_rate).mops;
+    const double red = model_run(k, cmp_ranks, red16.net, 1.25 * k.loki_rate).mops;
+    const double org = model_run(k, cmp_ranks, origin.net, 2.8 * k.loki_rate).mops;
     auto fmt = [](double v) {
       if (v <= 0) return std::string("-");
       char buf[16];

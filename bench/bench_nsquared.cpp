@@ -15,16 +15,18 @@
 #include "gravity/models.hpp"
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace hotlib;
 
 int main() {
+  telemetry::Session session("nsquared");
   std::printf("=== E1: O(N^2) benchmark (paper: 635 Gflops, 1M bodies, 6800 procs) ===\n\n");
 
   // (a) Real runs: ring decomposition at several rank counts.
-  const std::size_t n = 6000;
+  const std::size_t n = telemetry::tiny_run() ? 600 : 6000;
   auto all = gravity::plummer_sphere(n, 1997);
   TextTable real({"ranks", "interactions", "seconds", "Mflops (host)", "interactions/s"});
   for (int p : {1, 2, 4, 8}) {
@@ -57,6 +59,8 @@ int main() {
   {
     const auto red = simnet::asci_red_april97();
     const auto proj = simnet::project_nsq_run(red, 1e6, 4);
+    session.metric("gflops_model_red", proj.gflops());
+    session.set_modelled_seconds(proj.seconds);
     model.add_row({"1M bodies, 4 steps, 6800 procs (ASCI Red)",
                    TextTable::num(proj.seconds, 1), TextTable::num(proj.gflops(), 0),
                    "239.3 s, 635 Gflops"});

@@ -9,12 +9,13 @@
 
 #include "machine/prices.hpp"
 #include "simnet/machine.hpp"
-#include "util/counters.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 
 using namespace hotlib;
 
 int main() {
+  telemetry::Session session("price");
   std::printf("=== Tables 1-2 + price/performance + GRAPE equivalence ===\n\n");
 
   // Table 1 / Table 2 totals.
@@ -52,6 +53,8 @@ int main() {
   const double grape_pps =
       simnet::grape_particles_per_second(simnet::grape4_like(), 322e6);
 
+  session.metric("loki_total_usd", machine::total_price(machine::loki_parts_sept1996()));
+  session.metric("usd_per_mflop_loki", machine::dollars_per_mflop(51379, 879e6));
   TextTable grape({"quantity", "modelled", "paper"});
   grape.add_row({"treecode particles/s (3400 nodes)",
                  TextTable::num(tree_pps / 1e6, 1) + " M/s", "3 M/s"});

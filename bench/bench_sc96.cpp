@@ -17,6 +17,7 @@
 #include "machine/prices.hpp"
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -61,9 +62,10 @@ Result run_benchmark(const hot::Bodies& all, int ranks) {
 }  // namespace
 
 int main() {
+  telemetry::Session session("sc96");
   std::printf("=== E7: Loki+Hyglac at SC'96 (paper: 2.19 Gflops, $47/Mflop, 21 Gflops/M$) ===\n\n");
 
-  const auto all = gravity::plummer_sphere(16000, 96);
+  const auto all = gravity::plummer_sphere(telemetry::tiny_run() ? 1500 : 16000, 96);
   TextTable meas({"config", "ranks", "interactions", "LET bytes", "Mflops (host)"});
   for (int ranks : {8, 16}) {
     const Result r = run_benchmark(all, ranks);
@@ -82,6 +84,8 @@ int main() {
   const auto sc96 = simnet::sc96_cluster();
   const double ipp = 3000.0;  // treecode benchmark, moderately clustered
   const auto proj = simnet::project_tree_run(sc96, 10e6, 1, ipp, false);
+  session.metric("gflops_model_sc96", proj.gflops());
+  session.set_modelled_seconds(proj.seconds);
   TextTable model({"row", "modelled", "paper"});
   model.add_row({"10M-body benchmark throughput",
                  TextTable::num(proj.gflops(), 2) + " Gflops", "2.19 Gflops"});

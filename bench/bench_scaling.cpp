@@ -15,6 +15,7 @@
 #include "gravity/abm_forces.hpp"
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 
 using namespace hotlib;
@@ -48,18 +49,22 @@ double modelled_step(const hot::Bodies& all, int ranks, parc::NetworkParams net,
 }  // namespace
 
 int main() {
+  telemetry::Session session("scaling");
   std::printf("=== Strong/weak scaling of the parallel treecode (machine-modelled) ===\n\n");
 
   // Strong scaling: fixed 16k-body problem, growing rank counts, Loki vs Red
   // networks at the Pentium Pro treecode rate.
+  const bool tiny = telemetry::tiny_run();
   const double rate = 70e6;
   const auto loki_net = simnet::loki().net;
   const auto red_net = simnet::asci_red_16().net;
-  const auto all = gravity::plummer_sphere(16000, 70);
+  const auto all = gravity::plummer_sphere(tiny ? 1500 : 16000, 70);
 
   TextTable strong({"ranks", "Loki model s", "Loki eff", "Red model s", "Red eff"});
   double loki1 = 0, red1 = 0;
-  for (int p : {1, 2, 4, 8, 16}) {
+  const std::vector<int> strong_ranks = tiny ? std::vector<int>{1, 4}
+                                             : std::vector<int>{1, 2, 4, 8, 16};
+  for (int p : strong_ranks) {
     const double tl = modelled_step(all, p, loki_net, rate, nullptr);
     const double tr = modelled_step(all, p, red_net, rate, nullptr);
     if (p == 1) {
@@ -80,8 +85,11 @@ int main() {
   TextTable weak({"ranks", "bodies", "interactions", "Loki model s", "Mint/s/rank",
                   "efficiency"});
   double thr1 = 0;
-  for (int p : {1, 2, 4, 8}) {
-    const auto b = gravity::plummer_sphere(2000 * static_cast<std::size_t>(p), 71);
+  const std::vector<int> weak_ranks =
+      tiny ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  for (int p : weak_ranks) {
+    const auto b = gravity::plummer_sphere(
+        (tiny ? 500u : 2000u) * static_cast<std::size_t>(p), 71);
     std::uint64_t ints = 0;
     const double t = modelled_step(b, p, loki_net, rate, &ints);
     const double thr = static_cast<double>(ints) / t / p / 1e6;
@@ -106,6 +114,10 @@ int main() {
     std::snprintf(label, sizeof label, "%d", 2 * nodes);
     paper.add_row({"ASCI Red", label, TextTable::num(proj.gflops(), 0),
                    nodes == 3400 ? "431 Gflops" : "-"});
+    if (nodes == 3400) {
+      session.metric("gflops_model_6800", proj.gflops());
+      session.set_modelled_seconds(proj.seconds);
+    }
   }
   std::printf("Analytic projection to paper scale (322M bodies, unclustered):\n%s\n",
               paper.to_string().c_str());

@@ -20,6 +20,7 @@
 #include "gravity/models.hpp"
 #include "hot/hot.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -51,11 +52,13 @@ Run tree_run(const hot::Bodies& b, double theta) {
 }  // namespace
 
 int main() {
+  telemetry::Session session("treecode");
   std::printf("=== E2/E3/E4: treecode at scale (paper: 431 & 170 Gflops; 1e5 x N^2) ===\n\n");
 
   // (a) Unclustered vs clustered interaction cost — the physical reason the
   // sustained rate drops from 431 to 170 Gflops.
-  const std::size_t n = 20000;
+  const bool tiny = telemetry::tiny_run();
+  const std::size_t n = tiny ? 1000 : 20000;
   const auto uniform = gravity::uniform_cube(n, 3);      // like the early universe
   const auto clustered = gravity::plummer_sphere(n, 3);  // like the clustered epoch
   const Run u = tree_run(uniform, 0.35);
@@ -71,7 +74,9 @@ int main() {
 
   // (b) N log N vs N^2: interaction counts and the efficiency ratio.
   TextTable scaling({"N", "tree ints", "N^2 ints", "ratio", "tree s", "direct s"});
-  for (std::size_t nn : {2000u, 8000u, 32000u}) {
+  const std::vector<std::size_t> sweep =
+      tiny ? std::vector<std::size_t>{500} : std::vector<std::size_t>{2000, 8000, 32000};
+  for (std::size_t nn : sweep) {
     const auto b = gravity::plummer_sphere(nn, 7);
     const Run tr = tree_run(b, 0.35);
     WallTimer t;
@@ -113,6 +118,10 @@ int main() {
                  TextTable::num(tree_pps / nsq_pps / 1e3, 0) + "e3 x",
                  "3M vs 52 => ~1e5 x"});
   std::printf("Machine-model projections:\n%s\n", model.to_string().c_str());
+  session.metric("interactions_per_particle_clustered", c.per_particle);
+  session.metric("gflops_model_first5", early.gflops());
+  session.metric("gflops_model_sustained", sustained.gflops());
+  session.set_modelled_seconds(early.seconds);
   std::printf(
       "Shape checks: clustered interactions/particle exceed unclustered (driving\n"
       "the 431 -> 170 Gflops drop); tree/N^2 interaction ratio grows with N; model\n"

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "simnet/machine.hpp"
+#include "telemetry/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "vortex/remesh.hpp"
@@ -21,12 +22,15 @@ using namespace hotlib;
 using namespace hotlib::vortex;
 
 int main() {
+  telemetry::Session session("vortex");
   std::printf("=== E6: vortex ring fusion (paper: 950 Mflops on Hyglac, 57k -> 360k particles) ===\n\n");
 
+  const bool tiny = telemetry::tiny_run();
+  const std::size_t ring_n = tiny ? 48 : 160;
   const double sigma = 0.12;
   VortexParticles p =
-      merge(make_ring(160, 1.0, 1.0, {-0.55, 0, 0}, {0, 0, 1}, sigma),
-            make_ring(160, 1.0, 1.0, {0.55, 0, 0}, {0, 0, 1}, sigma));
+      merge(make_ring(ring_n, 1.0, 1.0, {-0.55, 0, 0}, {0, 0, 1}, sigma),
+            make_ring(ring_n, 1.0, 1.0, {0.55, 0, 0}, {0, 0, 1}, sigma));
   const std::size_t n0 = p.size();
   const Vec3d imp0 = p.linear_impulse();
 
@@ -34,7 +38,7 @@ int main() {
   InteractionTally total;
   const hot::Mac mac{.theta = 0.3};
   TextTable growth({"step", "particles", "cumulative interactions"});
-  const int steps = 24;
+  const int steps = tiny ? 8 : 24;
   for (int s = 0; s < steps; ++s) {
     total += step_rk2(p, 0.04, mac);
     if ((s + 1) % 8 == 0) {
@@ -67,6 +71,8 @@ int main() {
   model.add_row({"20-hour run budget",
                  TextTable::num(16 * per_proc * 0.92 * 72000 / 1e12, 1) + " Tflop",
                  "~68 Tflop (950 Mflops x 20 h)"});
+  session.metric("mflops_model_16proc", 16 * per_proc * 0.92 / 1e6);
+  session.metric("final_particles", static_cast<double>(p.size()));
   std::printf("Hyglac model rows:\n%s\n", model.to_string().c_str());
   std::printf(
       "Shape checks: remeshing grows the particle count (57k -> 360k in the\n"

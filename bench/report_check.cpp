@@ -1,0 +1,148 @@
+// report_check — drive one bench harness at smoke size and validate its
+// machine-readable output.
+//
+//   report_check <bench-executable> <name>
+//
+// Runs the harness with HOTLIB_BENCH_TINY=1 (tiny problem sizes) and
+// HOTLIB_REPORT_DIR pointing at the working directory, then strict-parses
+// the BENCH_<name>.json it must produce and checks the run-report schema:
+// required keys, types, and basic sanity (non-negative times, phase list
+// consistent, counter block complete). Exit status is the test verdict —
+// this is the bench-smoke ctest slice, so every harness keeps producing a
+// valid report as the library evolves.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/json.hpp"
+
+using namespace hotlib::telemetry;
+
+namespace {
+
+int g_failures = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "report_check: FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+const JsonValue* need(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(std::string("missing key \"") + key + "\"");
+  return v;
+}
+
+double need_number(const JsonValue& obj, const char* key) {
+  const JsonValue* v = need(obj, key);
+  if (v == nullptr) return 0.0;
+  if (!v->is_number()) {
+    fail(std::string("\"") + key + "\" is not a number");
+    return 0.0;
+  }
+  return v->as_number();
+}
+
+std::string need_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = need(obj, key);
+  if (v == nullptr || !v->is_string()) {
+    fail(std::string("\"") + key + "\" is not a string");
+    return {};
+  }
+  return v->as_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: report_check <bench-executable> <name>\n");
+    return 2;
+  }
+  const std::string exe = argv[1];
+  const std::string name = argv[2];
+
+  setenv("HOTLIB_BENCH_TINY", "1", 1);
+  setenv("HOTLIB_REPORT_DIR", ".", 1);
+  const std::string report = std::string("BENCH_") + name + ".json";
+  std::remove(report.c_str());
+
+  const int rc = std::system((exe + " > /dev/null").c_str());
+  if (rc != 0) {
+    fail(exe + " exited with status " + std::to_string(rc));
+    return 1;
+  }
+
+  std::ifstream in(report);
+  if (!in) {
+    fail(report + " was not written");
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  const JsonParseResult parsed = json_parse(buf.str());
+  if (!parsed.ok) {
+    fail(report + " is not strict JSON: " + parsed.error);
+    return 1;
+  }
+  const JsonValue& root = parsed.value;
+  if (!root.is_object()) {
+    fail(report + ": top level is not an object");
+    return 1;
+  }
+
+  if (need_string(root, "schema") != "hotlib-run-report-v1")
+    fail("schema id is not hotlib-run-report-v1");
+  if (need_string(root, "name") != name)
+    fail("report name does not match harness name " + name);
+  if (need_number(root, "nranks") < 1) fail("nranks < 1");
+  if (need_number(root, "wall_seconds") < 0) fail("wall_seconds < 0");
+  if (need_number(root, "modelled_seconds") < 0) fail("modelled_seconds < 0");
+  if (need_number(root, "interactions") < 0) fail("interactions < 0");
+  if (need_number(root, "flops") < 0) fail("flops < 0");
+
+  // Phase entries: every listed phase ran (calls >= 1) with sane times.
+  if (const JsonValue* phases = need(root, "phases")) {
+    if (!phases->is_array()) {
+      fail("\"phases\" is not an array");
+    } else {
+      for (const JsonValue& p : phases->as_array()) {
+        if (!p.is_object()) {
+          fail("phase entry is not an object");
+          continue;
+        }
+        if (need_string(p, "name").empty()) fail("phase with empty name");
+        if (need_number(p, "calls") < 1) fail("phase listed with zero calls");
+        if (need_number(p, "wall_seconds") < 0) fail("phase wall_seconds < 0");
+        if (need_number(p, "imbalance") < 1.0 - 1e-9) fail("phase imbalance < 1");
+      }
+    }
+  }
+
+  // Counter block must carry every registered counter (exporters iterate the
+  // enum, so a missing key means the name table and enum diverged).
+  if (const JsonValue* counters = need(root, "counters")) {
+    if (!counters->is_object()) {
+      fail("\"counters\" is not an object");
+    } else {
+      for (int i = 0; i < kCounterCount; ++i) {
+        const char* key = counter_name(static_cast<Counter>(i));
+        if (need_number(*counters, key) < 0) fail(std::string("counter ") + key + " < 0");
+      }
+    }
+  }
+
+  if (const JsonValue* metrics = need(root, "metrics")) {
+    if (!metrics->is_object()) fail("\"metrics\" is not an object");
+  }
+
+  if (g_failures == 0) {
+    std::printf("report_check: %s OK\n", report.c_str());
+    return 0;
+  }
+  return 1;
+}

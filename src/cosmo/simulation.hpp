@@ -11,7 +11,7 @@
 #include "gravity/parallel.hpp"
 #include "hot/bodies.hpp"
 #include "parc/rank.hpp"
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 
 namespace hotlib::cosmo {
 

@@ -2,6 +2,7 @@
 
 #include "gravity/kernels.hpp"
 #include "hot/tree.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hotlib::gravity {
 
@@ -51,6 +52,9 @@ AbmForceResult abm_tree_forces(parc::Rank& rank, hot::Bodies& local,
         }
       });
   result.health = rank.am_health();
+  // The force kernel runs inside the traversal callback, so its tally is
+  // flushed here once rather than by a dedicated kForceEval span.
+  telemetry::count_tally(result.tally);
   return result;
 }
 

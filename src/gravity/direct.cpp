@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "gravity/kernels.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hotlib::gravity {
 
@@ -11,6 +12,7 @@ InteractionTally direct_forces(std::span<const Vec3d> pos, std::span<const doubl
                                double eps, double G, std::span<Vec3d> acc,
                                std::span<double> pot) {
   assert(pos.size() == mass.size() && pos.size() == acc.size() && pos.size() == pot.size());
+  telemetry::Span span("direct_forces", telemetry::Phase::kForceEval, pos.size());
   const std::size_t n = pos.size();
   const double eps2 = eps * eps;
   InteractionTally tally;
@@ -25,6 +27,7 @@ InteractionTally direct_forces(std::span<const Vec3d> pos, std::span<const doubl
     pot[i] = G * p;
     tally.body_body += n - 1;
   }
+  telemetry::count_tally(tally);
   return tally;
 }
 
@@ -39,6 +42,7 @@ InteractionTally ring_direct_forces(parc::Rank& rank, std::span<const Vec3d> pos
                                     std::span<const double> mass, double eps, double G,
                                     std::span<Vec3d> acc, std::span<double> pot) {
   const int p = rank.size();
+  telemetry::Span span("ring_direct_forces", telemetry::Phase::kForceEval, pos.size());
   const std::size_t n = pos.size();
   const double eps2 = eps * eps;
   InteractionTally tally;
@@ -74,6 +78,7 @@ InteractionTally ring_direct_forces(parc::Rank& rank, std::span<const Vec3d> pos
     acc[i] = G * a[i];
     pot[i] = G * phi[i];
   }
+  telemetry::count_tally(tally);
   return tally;
 }
 

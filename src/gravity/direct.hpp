@@ -10,7 +10,7 @@
 #include <span>
 
 #include "parc/rank.hpp"
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 #include "util/vec3.hpp"
 
 namespace hotlib::gravity {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "gravity/kernels.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hotlib::gravity {
 
@@ -11,6 +12,7 @@ InteractionTally tree_forces(const hot::Tree& tree, std::span<const Vec3d> pos,
                              std::span<Vec3d> acc, std::span<double> pot,
                              std::span<double> work) {
   assert(pos.size() == acc.size() && pos.size() == pot.size());
+  telemetry::Span span("tree_forces", telemetry::Phase::kForceEval, pos.size());
   InteractionTally tally;
   const double eps2 = cfg.softening * cfg.softening;
   const auto& cells = tree.cells();
@@ -40,6 +42,7 @@ InteractionTally tree_forces(const hot::Tree& tree, std::span<const Vec3d> pos,
       if (!work.empty()) work[i] = static_cast<double>(count);
     }
   }
+  telemetry::count_tally(tally);
   return tally;
 }
 
@@ -47,6 +50,7 @@ InteractionTally apply_let_import(const hot::LetImport& import,
                                   std::span<const Vec3d> pos, const TreeForceConfig& cfg,
                                   std::span<Vec3d> acc, std::span<double> pot,
                                   std::span<double> work) {
+  telemetry::Span span("apply_let_import", telemetry::Phase::kForceEval, pos.size());
   InteractionTally tally;
   const double eps2 = cfg.softening * cfg.softening;
   for (std::size_t i = 0; i < pos.size(); ++i) {
@@ -63,6 +67,7 @@ InteractionTally apply_let_import(const hot::LetImport& import,
   }
   tally.body_body += static_cast<std::uint64_t>(pos.size()) * import.bodies.size();
   tally.body_cell += static_cast<std::uint64_t>(pos.size()) * import.cells.size();
+  telemetry::count_tally(tally);
   return tally;
 }
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "gravity/kernels.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hotlib::gravity {
 
@@ -112,6 +113,7 @@ InteractionTally periodic_direct_forces(std::span<const Vec3d> pos,
                                         double G, std::span<Vec3d> acc,
                                         std::span<double> pot) {
   const std::size_t n = pos.size();
+  telemetry::Span span("periodic_direct_forces", telemetry::Phase::kForceEval, n);
   const double eps2 = softening * softening;
   InteractionTally tally;
   for (std::size_t i = 0; i < n; ++i) {
@@ -134,6 +136,7 @@ InteractionTally periodic_direct_forces(std::span<const Vec3d> pos,
     pot[i] = G * p;  // potential: minimum image only (diagnostic use)
     tally.body_body += n - 1;
   }
+  telemetry::count_tally(tally);
   return tally;
 }
 

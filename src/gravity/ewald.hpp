@@ -25,7 +25,7 @@
 #include <span>
 #include <vector>
 
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 #include "util/vec3.hpp"
 
 namespace hotlib::gravity {

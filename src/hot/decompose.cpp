@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "telemetry/trace.hpp"
+
 namespace hotlib::hot {
 
 using morton::Key;
@@ -63,6 +65,7 @@ std::vector<KeyRange> decompose(parc::Rank& rank, Bodies& local,
                                 const morton::Domain& domain, DecomposeStats* stats,
                                 int samples_per_rank) {
   const int p = rank.size();
+  telemetry::Span span("decompose", telemetry::Phase::kDecompose, local.size());
   std::vector<Key> keys = sort_bodies_by_key(local, domain);
   const std::size_t n = local.size();
 

@@ -7,6 +7,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "telemetry/trace.hpp"
+
 namespace hotlib::hot {
 
 using morton::Key;
@@ -256,6 +258,7 @@ void DistributedTree::serve_request(int requester, Key key) {
   std::memcpy(payload.data() + sizeof h, bodies.data(),
               bodies.size() * sizeof(SourceRecord));
   rank_.am_post(requester, am_reply_, payload);
+  telemetry::count(telemetry::Counter::kDtreeRepliesServed);
   if (active_stats_ != nullptr) ++active_stats_->replies_served;
 }
 
@@ -363,6 +366,7 @@ Key DistributedTree::advance(Walk& w, const Mac& mac, Stats& stats) {
 }
 
 DistributedTree::Stats DistributedTree::traverse(const Mac& mac, const GroupEval& eval) {
+  telemetry::Span span("dtree_traverse", telemetry::Phase::kTraverse);
   Stats stats;
   stats.crown_cells = crown_.size();
   active_stats_ = &stats;
@@ -462,6 +466,11 @@ DistributedTree::Stats DistributedTree::traverse(const Mac& mac, const GroupEval
     }
   }
   active_stats_ = nullptr;
+  // A cache lookup that finds the key is a hash hit; every miss is exactly
+  // what turned into a remote key request.
+  telemetry::count(telemetry::Counter::kHashHits, stats.cache_hits);
+  telemetry::count(telemetry::Counter::kHashMisses, stats.requests_sent);
+  span.set_arg(stats.requests_sent);
   return stats;
 }
 

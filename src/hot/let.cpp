@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "telemetry/trace.hpp"
+
 namespace hotlib::hot {
 
 Aabb local_aabb(const Bodies& b) {
@@ -53,6 +55,7 @@ LetImport exchange_let(parc::Rank& rank, const Tree& local_tree,
                        std::span<const double> local_mass,
                        const std::vector<Aabb>& boxes, const Mac& mac) {
   const int p = rank.size();
+  telemetry::Span span("let_exchange", telemetry::Phase::kLetExchange);
 
   // Wire format per destination: [u64 ncells][u64 nbodies][cells][bodies].
   std::vector<parc::Bytes> out(static_cast<std::size_t>(p));
@@ -95,6 +98,9 @@ LetImport exchange_let(parc::Rank& rank, const Tree& local_tree,
     std::memcpy(import.bodies.data() + old_b, buf.data() + bodies_at,
                 nb * sizeof(SourceRecord));
   }
+  span.set_arg(bytes_sent);
+  telemetry::count(telemetry::Counter::kLetCellsImported, import.cells.size());
+  telemetry::count(telemetry::Counter::kLetBodiesImported, import.bodies.size());
   return import;
 }
 

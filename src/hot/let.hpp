@@ -22,7 +22,7 @@
 #include "hot/mac.hpp"
 #include "hot/tree.hpp"
 #include "parc/rank.hpp"
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 
 namespace hotlib::hot {
 

@@ -14,7 +14,7 @@
 
 #include "hot/mac.hpp"
 #include "hot/tree.hpp"
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 
 namespace hotlib::hot {
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "telemetry/trace.hpp"
+
 namespace hotlib::hot {
 
 using morton::Key;
@@ -48,6 +50,7 @@ void finalize_moments(const RawMoments& raw, double bmax_bound, Cell& out) {
 void Tree::build(std::span<const Vec3d> pos, std::span<const double> mass,
                  const morton::Domain& domain, Config cfg) {
   assert(pos.size() == mass.size());
+  telemetry::Span span("tree_build", telemetry::Phase::kTreeBuild, pos.size());
   domain_ = domain;
   cells_.clear();
   hash_.clear();

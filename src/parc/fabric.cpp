@@ -2,7 +2,11 @@
 
 #include <atomic>
 
+#include "telemetry/trace.hpp"
+
 namespace hotlib::parc {
+
+namespace tel = telemetry;
 
 Fabric::Fabric(int nranks, NetworkParams net, FaultPlan faults)
     : net_(net), faults_(faults) {
@@ -44,24 +48,39 @@ void Fabric::deliver(int dst, Message msg) {
     d = faults_.draw(msg.source, dst, chan_seq_[chan]++, msg.payload.size());
   }
 
+  // Fault markers land in the *sender's* trace channel (deliver runs on the
+  // sending thread), tagging exactly which wire events were injected.
   if (d.drop) {
     fault_counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+    tel::count(tel::Counter::kFaultsInjected);
+    tel::instant("fault_drop", tel::Phase::kComm, msg.payload.size());
     return;
   }
   if (d.truncated) {
     fault_counters_.truncated.fetch_add(1, std::memory_order_relaxed);
+    tel::count(tel::Counter::kFaultsInjected);
+    tel::instant("fault_truncate", tel::Phase::kComm, d.truncate_to);
     msg.payload.resize(d.truncate_to);
   }
-  if (d.reorder) fault_counters_.reordered.fetch_add(1, std::memory_order_relaxed);
+  if (d.reorder) {
+    fault_counters_.reordered.fetch_add(1, std::memory_order_relaxed);
+    tel::count(tel::Counter::kFaultsInjected);
+    tel::instant("fault_reorder", tel::Phase::kComm, msg.payload.size());
+  }
   {
     std::lock_guard lock(box.mu);
     release_deferred(box, /*force=*/false);
     if (d.duplicate) {
       fault_counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+      tel::count(tel::Counter::kFaultsInjected);
+      tel::instant("fault_duplicate", tel::Phase::kComm, msg.payload.size());
       enqueue(box, msg, /*front=*/d.reorder);  // copy; original may be delayed
     }
     if (d.delay_deliveries > 0) {
       fault_counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+      tel::count(tel::Counter::kFaultsInjected);
+      tel::instant("fault_delay", tel::Phase::kComm,
+                   static_cast<std::uint64_t>(d.delay_deliveries));
       msg.depart_time += d.extra_latency_s;
       box.deferred.push_back({d.delay_deliveries, std::move(msg)});
     } else {

@@ -2,7 +2,11 @@
 
 #include <cstring>
 
+#include "telemetry/trace.hpp"
+
 namespace hotlib::parc {
+
+namespace tel = telemetry;
 
 namespace {
 
@@ -55,6 +59,8 @@ Rank::Rank(Fabric& fabric, int rank) : fabric_(fabric), rank_(rank) {
 
 void Rank::send(int dst, int tag, std::span<const std::uint8_t> payload) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("parc::send: bad destination");
+  tel::count(tel::Counter::kMessagesSent);
+  tel::count(tel::Counter::kBytesSent, payload.size());
   vclock_ += fabric_.net().overhead_s;  // sender-side per-message CPU cost
   Message m;
   m.source = rank_;
@@ -70,6 +76,8 @@ Message Rank::recv(int source, int tag) {
     const double arrival = m.depart_time + fabric_.net().transfer_time(m.payload.size());
     vclock_ = std::max(vclock_, arrival) + fabric_.net().overhead_s;
   }
+  tel::count(tel::Counter::kMessagesReceived);
+  tel::count(tel::Counter::kBytesReceived, m.payload.size());
   return m;
 }
 
@@ -80,6 +88,8 @@ bool Rank::try_recv(Message& out, int source, int tag) {
     const double arrival = m->depart_time + fabric_.net().transfer_time(m->payload.size());
     vclock_ = std::max(vclock_, arrival) + fabric_.net().overhead_s;
   }
+  tel::count(tel::Counter::kMessagesReceived);
+  tel::count(tel::Counter::kBytesReceived, m->payload.size());
   out = std::move(*m);
   return true;
 }
@@ -88,6 +98,7 @@ void Rank::barrier() {
   // Dissemination barrier: log2(p) rounds of token exchange.
   const int p = size();
   if (p == 1) return;
+  tel::Span span("barrier", tel::Phase::kComm);
   const int seq = coll_seq_++ & 0xFFFFF;
   int round = 0;
   for (int k = 1; k < p; k <<= 1, ++round) {
@@ -101,6 +112,7 @@ void Rank::barrier() {
 Bytes Rank::broadcast_bytes(Bytes value, int root) {
   const int p = size();
   if (p == 1) return value;
+  tel::Span span("broadcast", tel::Phase::kComm, value.size());
   const int me = relabel(rank_, root, p);
   const int tag = next_collective_tag(0);
   for (int k = 1; k < p; k <<= 1) {
@@ -120,6 +132,8 @@ std::vector<Bytes> Rank::allgather_bytes(Bytes mine) {
   std::vector<Bytes> blocks(static_cast<std::size_t>(p));
   blocks[static_cast<std::size_t>(rank_)] = std::move(mine);
   if (p == 1) return blocks;
+  tel::Span span("allgather", tel::Phase::kComm,
+                 blocks[static_cast<std::size_t>(rank_)].size());
 
   const int seq = coll_seq_++ & 0xFFFFF;
   const int right = (rank_ + 1) % p;
@@ -138,6 +152,7 @@ std::vector<Bytes> Rank::alltoallv(std::vector<Bytes> out) {
   const int p = size();
   if (static_cast<int>(out.size()) != p)
     throw std::invalid_argument("parc::alltoallv: need one payload per rank");
+  tel::Span span("alltoallv", tel::Phase::kComm);
   const int tag = next_collective_tag(0);
   std::vector<Bytes> in(static_cast<std::size_t>(p));
   in[static_cast<std::size_t>(rank_)] = std::move(out[static_cast<std::size_t>(rank_)]);
@@ -170,6 +185,7 @@ void Rank::am_post(int dst, int handler, std::span<const std::uint8_t> payload) 
   std::memcpy(buf.data() + pos + sizeof(h), &n, sizeof(n));
   std::memcpy(buf.data() + pos + sizeof(h) + sizeof(n), payload.data(), payload.size());
   ++am_posted_;
+  tel::count(tel::Counter::kAbmRecordsPosted);
   if (buf.size() >= am_batch_limit_) am_ship_batch(dst);
 }
 
@@ -177,6 +193,7 @@ void Rank::am_ship_batch(int dst) {
   Bytes& buf = am_batches_[static_cast<std::size_t>(dst)];
   if (buf.empty()) return;
   if (!am_reliable_) {
+    tel::count(tel::Counter::kAbmBatchesSent);
     send(dst, kAmTag, buf);
     buf.clear();
     return;
@@ -189,6 +206,7 @@ void Rank::am_ship_batch(int dst) {
     ++oc.abandoned_batches;
     oc.abandoned_records += nrecords;
     am_abandoned_ += nrecords;
+    tel::count(tel::Counter::kAbmAbandonedRecords, nrecords);
     buf.clear();
     return;
   }
@@ -203,6 +221,7 @@ void Rank::am_ship_batch(int dst) {
   std::memcpy(wire.data(), &h, sizeof h);
   std::memcpy(wire.data() + sizeof h, buf.data(), buf.size());
   buf.clear();
+  tel::count(tel::Counter::kAbmBatchesSent);
   send(dst, kAmTag, wire);
   oc.unacked.push_back({h.seq, std::move(wire), nrecords, 0,
                         am_tick_ + static_cast<std::uint64_t>(am_retry_.base_timeout_ticks)});
@@ -227,6 +246,7 @@ std::size_t Rank::am_dispatch_records(int source, std::span<const std::uint8_t> 
     ++am_dispatched_;
     ++dispatched;
   }
+  tel::count(tel::Counter::kAbmRecordsDispatched, dispatched);
   return dispatched;
 }
 
@@ -235,6 +255,7 @@ void Rank::am_send_ack(int src) {
   const std::uint64_t ack = am_in_[static_cast<std::size_t>(src)].expected;
   send_value(src, kAmAckTag, ack);
   ++am_acks_sent_;
+  tel::count(tel::Counter::kAbmAcksSent);
   am_in_[static_cast<std::size_t>(src)].ack_pending = false;
 }
 
@@ -247,9 +268,11 @@ void Rank::am_abandon_channel(int dst) {
     ++oc.abandoned_batches;
     oc.abandoned_records += u.nrecords;
     am_abandoned_ += u.nrecords;
+    tel::count(tel::Counter::kAbmAbandonedRecords, u.nrecords);
   }
   oc.unacked.clear();
   oc.dead = true;
+  tel::instant("abm_channel_dead", tel::Phase::kComm, static_cast<std::uint64_t>(dst));
 }
 
 void Rank::am_progress() {
@@ -259,6 +282,7 @@ void Rank::am_progress() {
   while (try_recv(m, kAnySource, kAmAckTag)) {
     if (m.payload.size() != sizeof(std::uint64_t)) {
       ++am_corrupt_batches_;  // truncated ack: ignore, a later one supersedes it
+      tel::count(tel::Counter::kAbmCorruptBatches);
       continue;
     }
     const std::uint64_t ack = m.as<std::uint64_t>();
@@ -277,6 +301,8 @@ void Rank::am_progress() {
     }
     ++u.attempts;
     ++oc.retransmits;
+    tel::count(tel::Counter::kAbmRetransmits);
+    tel::instant("abm_retransmit", tel::Phase::kComm, u.seq);
     send(d, kAmTag, u.wire);
     const int shift = std::min(u.attempts, am_retry_.max_backoff_shift);
     u.retry_at_tick =
@@ -303,6 +329,7 @@ std::size_t Rank::am_poll() {
     AmWireHeader h;
     if (m.payload.size() < sizeof h) {
       ++am_corrupt_batches_;
+      tel::count(tel::Counter::kAbmCorruptBatches);
       continue;
     }
     std::memcpy(&h, m.payload.data(), sizeof h);
@@ -310,6 +337,7 @@ std::size_t Rank::am_poll() {
                                           m.payload.size() - sizeof h);
     if (records.size() != h.nbytes || fnv1a64(records) != h.checksum) {
       ++am_corrupt_batches_;  // truncated or corrupted: sender will retransmit
+      tel::count(tel::Counter::kAbmCorruptBatches);
       continue;
     }
     // A validated batch carries the reverse channel's cumulative ack for free.
@@ -318,11 +346,13 @@ std::size_t Rank::am_poll() {
     if (h.seq < ic.expected) {
       // Already dispatched (retransmit raced the ack, or duplication fault).
       ++am_dup_batches_;
+      tel::count(tel::Counter::kAbmDuplicateBatches);
       mark_ack_due(ic);
       continue;
     }
     if (h.seq > ic.expected) {
       ++am_ooo_batches_;
+      tel::count(tel::Counter::kAbmOutOfOrderBatches);
       if (ic.out_of_order.size() < am_retry_.max_ooo_batches)
         ic.out_of_order.emplace(h.seq, Bytes(records.begin(), records.end()));
       mark_ack_due(ic);  // duplicate cumulative ack: tells sender the gap

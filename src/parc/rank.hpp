@@ -90,6 +90,9 @@ class Rank {
 
   // ---- virtual time (machine model) ----
   double vclock() const { return vclock_; }
+  // Stable address of the clock, for the telemetry rank channel (spans
+  // record virtual time through it; read only by the owning thread).
+  const double* vclock_ptr() const { return &vclock_; }
   void charge_flops(double flops) { vclock_ += fabric_.net().compute_time(flops); }
   void charge_seconds(double s) { vclock_ += s; }
 

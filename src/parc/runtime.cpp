@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/trace.hpp"
+
 namespace hotlib::parc {
 
 RunStats Runtime::run(int nranks, const std::function<void(Rank&)>& body,
@@ -23,6 +25,9 @@ RunStats Runtime::run(int nranks, const std::function<void(Rank&)>& body,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       Rank rank(fabric, r);
+      // Telemetry: each rank thread records into its own channel; spans get
+      // the rank's LogP clock alongside wall time. No-op while disabled.
+      telemetry::RankScope telemetry_scope(r, rank.vclock_ptr());
       try {
         body(rank);
       } catch (...) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 
 namespace hotlib::simnet {
 

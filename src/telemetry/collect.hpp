@@ -1,0 +1,27 @@
+// collect.hpp — cross-rank counter aggregation over the parc collectives.
+//
+// Header-only on purpose: the telemetry library stays a leaf (parc links
+// *it*), while ranks that want a global rollup at run end pull this header
+// and pay one allreduce — the same path the paper's diagnostics used
+// ("statistics are based on internal diagnostics compiled by our program").
+#pragma once
+
+#include "parc/rank.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/trace.hpp"
+
+namespace hotlib::telemetry {
+
+// This rank's counter block (zeros when the thread is not attached).
+inline CounterBlock local_counters() {
+  const RankChannel* ch = channel();
+  return ch != nullptr ? ch->counters() : CounterBlock{};
+}
+
+// Sum of every rank's counters, identical on all ranks. Collective: must be
+// called by all ranks of the runtime in the same program order.
+inline CounterBlock allreduce_counters(parc::Rank& rank) {
+  return rank.allreduce(local_counters(), parc::Sum{});
+}
+
+}  // namespace hotlib::telemetry

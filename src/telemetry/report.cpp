@@ -1,0 +1,257 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "telemetry/json.hpp"
+
+namespace hotlib::telemetry {
+
+namespace {
+
+const char* env_or_null(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+std::string report_path(const std::string& file) {
+  if (const char* dir = env_or_null("HOTLIB_REPORT_DIR"))
+    return std::string(dir) + "/" + file;
+  return file;
+}
+
+}  // namespace
+
+RunReport build_run_report(const std::string& name, double wall_seconds) {
+  RunReport r;
+  r.name = name;
+  r.wall_seconds = wall_seconds;
+
+  // Merge channels by rank id: a session can span several Runtime::run
+  // invocations, each attaching fresh channels for ranks 0..p-1.
+  std::map<int, RankReport> ranks;
+  std::array<PhaseReport, kPhaseCount> phases;
+  std::array<std::map<int, double>, kPhaseCount> per_rank_phase_wall;
+  for (int p = 0; p < kPhaseCount; ++p)
+    phases[static_cast<std::size_t>(p)].name = phase_name(static_cast<Phase>(p));
+
+  for (const RankChannel* ch : Registry::instance().channels()) {
+    r.counters += ch->counters();
+    RankReport& rr = ranks[ch->rank()];
+    rr.rank = ch->rank();
+    rr.events += ch->size();
+    rr.events_dropped += ch->dropped();
+    for (int p = 0; p < kPhaseCount; ++p) {
+      if (static_cast<Phase>(p) == Phase::kOther) continue;
+      const PhaseTotal& t = ch->phase_total(static_cast<Phase>(p));
+      if (t.calls == 0) continue;
+      PhaseReport& pr = phases[static_cast<std::size_t>(p)];
+      pr.wall_seconds += t.wall_seconds;
+      pr.virt_seconds += t.virt_seconds;
+      pr.calls += t.calls;
+      per_rank_phase_wall[static_cast<std::size_t>(p)][ch->rank()] += t.wall_seconds;
+      rr.wall_seconds += t.wall_seconds;
+      rr.virt_seconds += t.virt_seconds;
+    }
+  }
+
+  for (int p = 0; p < kPhaseCount; ++p) {
+    PhaseReport& pr = phases[static_cast<std::size_t>(p)];
+    const auto& by_rank = per_rank_phase_wall[static_cast<std::size_t>(p)];
+    if (pr.calls == 0) continue;
+    for (const auto& [rank, wall] : by_rank)
+      pr.max_rank_wall = std::max(pr.max_rank_wall, wall);
+    pr.mean_rank_wall =
+        by_rank.empty() ? 0.0 : pr.wall_seconds / static_cast<double>(by_rank.size());
+    r.phases.push_back(pr);
+  }
+
+  r.nranks = static_cast<int>(ranks.size());
+  for (const auto& [rank, rr] : ranks) r.ranks.push_back(rr);
+  return r;
+}
+
+std::string run_report_json(const RunReport& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("hotlib-run-report-v1");
+  w.key("name");
+  w.value(r.name);
+  w.key("nranks");
+  w.value(r.nranks);
+  w.key("wall_seconds");
+  w.value(r.wall_seconds);
+  w.key("modelled_seconds");
+  w.value(r.modelled_seconds);
+  w.key("interactions");
+  w.value(r.interactions());
+  w.key("flops");
+  w.value(r.flops());
+  w.key("gflops_wall");
+  w.value(r.gflops_wall());
+
+  w.key("phases");
+  w.begin_array();
+  for (const PhaseReport& p : r.phases) {
+    w.begin_object();
+    w.key("name");
+    w.value(p.name);
+    w.key("wall_seconds");
+    w.value(p.wall_seconds);
+    w.key("virt_seconds");
+    w.value(p.virt_seconds);
+    w.key("max_rank_wall");
+    w.value(p.max_rank_wall);
+    w.key("mean_rank_wall");
+    w.value(p.mean_rank_wall);
+    w.key("imbalance");
+    w.value(p.imbalance());
+    w.key("calls");
+    w.value(p.calls);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("ranks");
+  w.begin_array();
+  for (const RankReport& rr : r.ranks) {
+    w.begin_object();
+    w.key("rank");
+    w.value(rr.rank);
+    w.key("wall_seconds");
+    w.value(rr.wall_seconds);
+    w.key("virt_seconds");
+    w.value(rr.virt_seconds);
+    w.key("events");
+    w.value(rr.events);
+    w.key("events_dropped");
+    w.value(rr.events_dropped);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("counters");
+  w.begin_object();
+  for (int c = 0; c < kCounterCount; ++c) {
+    w.key(counter_name(static_cast<Counter>(c)));
+    w.value(r.counters.v[static_cast<std::size_t>(c)]);
+  }
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& [k, v] : r.metrics) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+std::string chrome_trace_json() {
+  // trace_event "JSON Object Format": {"traceEvents": [...]} with 'X'
+  // (complete) and 'i' (instant) events; ts/dur in microseconds. pid 0,
+  // tid = rank puts each rank on its own timeline row.
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const RankChannel* ch : Registry::instance().channels()) {
+    for (const TraceEvent& e : ch->events()) {
+      w.begin_object();
+      w.key("name");
+      w.value(e.name);
+      w.key("cat");
+      w.value(phase_name(e.phase));
+      w.key("ph");
+      w.value(std::string_view(&e.type, 1));
+      w.key("pid");
+      w.value(0);
+      w.key("tid");
+      w.value(static_cast<std::int64_t>(e.rank));
+      w.key("ts");
+      w.value(e.wall_begin * 1e6);
+      if (e.type == 'X') {
+        w.key("dur");
+        w.value(e.wall_dur * 1e6);
+      } else {
+        w.key("s");
+        w.value("t");  // instant scope: thread
+      }
+      w.key("args");
+      w.begin_object();
+      w.key("virt_s");
+      w.value(e.virt_begin);
+      if (e.type == 'X') {
+        w.key("virt_dur_s");
+        w.value(e.virt_dur);
+      }
+      w.key("arg");
+      w.value(e.arg);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  return w.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = n == text.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "telemetry: short write to %s\n", path.c_str());
+  return ok;
+}
+
+bool tiny_run() {
+  const char* v = env_or_null("HOTLIB_BENCH_TINY");
+  return v != nullptr && !(v[0] == '0' && v[1] == '\0');
+}
+
+Session::Session(std::string name) : name_(std::move(name)) {
+  Registry::instance().reset();
+  const char* off = std::getenv("HOTLIB_TELEMETRY");
+  set_enabled(!(off != nullptr && off[0] == '0' && off[1] == '\0'));
+  attach_rank(0);
+  wall0_ = Registry::instance().now();
+}
+
+Session::~Session() {
+  if (!finished_) finish();
+  set_enabled(false);
+  detach_rank();
+}
+
+void Session::metric(const std::string& key, double value) { metrics_[key] = value; }
+
+void Session::set_modelled_seconds(double s) { modelled_seconds_ = s; }
+
+RunReport Session::finish() {
+  finished_ = true;
+  RunReport r = build_run_report(name_, Registry::instance().now() - wall0_);
+  r.modelled_seconds = modelled_seconds_;
+  r.metrics = metrics_;
+  write_text_file(report_path("BENCH_" + name_ + ".json"), run_report_json(r));
+  if (const char* trace = env_or_null("HOTLIB_TRACE")) {
+    const std::string path = (trace[0] == '1' && trace[1] == '\0')
+                                 ? report_path("TRACE_" + name_ + ".json")
+                                 : std::string(trace);
+    write_text_file(path, chrome_trace_json());
+  }
+  return r;
+}
+
+}  // namespace hotlib::telemetry

@@ -1,0 +1,120 @@
+#include "telemetry/trace.hpp"
+
+namespace hotlib::telemetry {
+
+namespace {
+thread_local RankChannel* t_channel = nullptr;
+}  // namespace
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kDecompose: return "decompose";
+    case Phase::kTreeBuild: return "tree_build";
+    case Phase::kLetExchange: return "let_exchange";
+    case Phase::kTraverse: return "traverse";
+    case Phase::kForceEval: return "force_eval";
+    case Phase::kComm: return "comm";
+    case Phase::kOther: return "other";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kBodyBody: return "body_body";
+    case Counter::kBodyCell: return "body_cell";
+    case Counter::kCellsOpened: return "cells_opened";
+    case Counter::kMacTests: return "mac_tests";
+    case Counter::kMessagesSent: return "messages_sent";
+    case Counter::kMessagesReceived: return "messages_received";
+    case Counter::kBytesSent: return "bytes_sent";
+    case Counter::kBytesReceived: return "bytes_received";
+    case Counter::kAbmBatchesSent: return "abm_batches_sent";
+    case Counter::kAbmRecordsPosted: return "abm_records_posted";
+    case Counter::kAbmRecordsDispatched: return "abm_records_dispatched";
+    case Counter::kAbmRetransmits: return "abm_retransmits";
+    case Counter::kAbmAcksSent: return "abm_acks_sent";
+    case Counter::kAbmDuplicateBatches: return "abm_duplicate_batches";
+    case Counter::kAbmCorruptBatches: return "abm_corrupt_batches";
+    case Counter::kAbmOutOfOrderBatches: return "abm_out_of_order_batches";
+    case Counter::kAbmAbandonedRecords: return "abm_abandoned_records";
+    case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kHashHits: return "hash_hits";
+    case Counter::kHashMisses: return "hash_misses";
+    case Counter::kDtreeRepliesServed: return "dtree_replies_served";
+    case Counter::kLetCellsImported: return "let_cells_imported";
+    case Counter::kLetBodiesImported: return "let_bodies_imported";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+RankChannel* Registry::attach(int rank, const double* vclock) {
+  if (!enabled()) {
+    t_channel = nullptr;
+    return nullptr;
+  }
+  std::lock_guard lock(mu_);
+  channels_.push_back(std::make_unique<RankChannel>(rank, capacity_, vclock));
+  t_channel = channels_.back().get();
+  return t_channel;
+}
+
+void Registry::detach() { t_channel = nullptr; }
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  channels_.clear();
+  t_channel = nullptr;
+}
+
+std::vector<const RankChannel*> Registry::channels() const {
+  std::lock_guard lock(mu_);
+  std::vector<const RankChannel*> out;
+  out.reserve(channels_.size());
+  for (const auto& c : channels_) out.push_back(c.get());
+  return out;
+}
+
+RankChannel* channel() { return t_channel; }
+
+#ifndef HOTLIB_TELEMETRY_DISABLED
+
+void count(Counter c, std::uint64_t n) {
+  RankChannel* ch = t_channel;
+  if (ch == nullptr) return;
+  ch->counters_[c] += n;
+}
+
+void count_tally(const InteractionTally& t) {
+  RankChannel* ch = t_channel;
+  if (ch == nullptr) return;
+  ch->counters_[Counter::kBodyBody] += t.body_body;
+  ch->counters_[Counter::kBodyCell] += t.body_cell;
+  ch->counters_[Counter::kCellsOpened] += t.cells_opened;
+  ch->counters_[Counter::kMacTests] += t.mac_tests;
+}
+
+#else
+
+void count(Counter, std::uint64_t) {}
+void count_tally(const InteractionTally&) {}
+
+#endif
+
+CounterBlock global_counters() {
+  CounterBlock total;
+  for (const RankChannel* ch : Registry::instance().channels())
+    total += ch->counters();
+  return total;
+}
+
+}  // namespace hotlib::telemetry

@@ -1,0 +1,284 @@
+// trace.hpp — per-rank event tracing with RAII spans.
+//
+// Every rank (parc thread, or the main thread of a serial harness) owns a
+// RankChannel: a fixed-capacity ring buffer of trace events, a block of the
+// unified counters (counters.hpp) and per-phase time totals. Channels are
+// created when a thread attaches and only ever written by that thread, so
+// recording takes no locks; the registry's channel list is mutex-guarded
+// for the (cold) attach/export paths.
+//
+// A Span records one timed scope with both wall-clock and — when the thread
+// is a parc rank — LogP virtual time. The disabled path is one relaxed
+// atomic load and a branch (measured by bench_faults at ~1 ns/span);
+// defining HOTLIB_TELEMETRY_DISABLED compiles spans and counters out
+// entirely.
+//
+// Phase totals are accumulated only by *top-level* spans of each phase
+// (nested same-phase spans don't double-count), which is what lets the
+// RunReport assert that per-phase times sum to the covered wall time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/counters.hpp"
+
+namespace hotlib::telemetry {
+
+// Pipeline phases of the paper's per-timestep breakdown. Every span carries
+// one; kOther spans are traced but excluded from the phase rollup.
+enum class Phase : int {
+  kDecompose = 0,  // weighted sample-sort domain decomposition
+  kTreeBuild,      // local hashed oct-tree construction
+  kLetExchange,    // locally-essential-tree push exchange
+  kTraverse,       // distributed (ABM request-driven) traversal
+  kForceEval,      // flop-counted kernel evaluation
+  kComm,           // collectives / point-to-point outside the phases above
+  kOther,
+  kCount
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount);
+
+const char* phase_name(Phase p);
+
+struct TraceEvent {
+  const char* name = "";      // static string; never freed
+  Phase phase = Phase::kOther;
+  char type = 'X';            // Chrome trace_event ph: 'X' complete, 'i' instant
+  std::int32_t rank = 0;
+  std::int32_t depth = 0;     // span nesting depth at begin
+  double wall_begin = 0.0;    // seconds since the registry epoch
+  double wall_dur = 0.0;      // seconds ('X' only)
+  double virt_begin = 0.0;    // parc virtual time at begin (0 when no rank)
+  double virt_dur = 0.0;
+  std::uint64_t arg = 0;      // free payload: bytes, counts, ...
+};
+
+// Accumulated time of one phase on one rank.
+struct PhaseTotal {
+  double wall_seconds = 0.0;
+  double virt_seconds = 0.0;
+  std::uint64_t calls = 0;
+};
+
+class RankChannel {
+ public:
+  RankChannel(int rank, std::size_t capacity, const double* vclock)
+      : rank_(rank), vclock_(vclock), ring_(capacity) {}
+
+  int rank() const { return rank_; }
+  double vclock() const { return vclock_ != nullptr ? *vclock_ : 0.0; }
+
+  void record(const TraceEvent& e) {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size())
+      ++size_;
+    else
+      ++dropped_;
+  }
+
+  // Events oldest-to-newest (a copy; the ring keeps recording).
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+    for (std::size_t i = 0; i < size_; ++i)
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const { return size_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::int32_t depth() const { return depth_; }
+
+  const CounterBlock& counters() const { return counters_; }
+  const PhaseTotal& phase_total(Phase p) const {
+    return phases_[static_cast<std::size_t>(static_cast<int>(p))];
+  }
+
+ private:
+  friend class Span;
+  friend void count(Counter, std::uint64_t);
+  friend void count_tally(const InteractionTally&);
+
+  int rank_;
+  const double* vclock_;  // the owning thread's parc virtual clock, if any
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  CounterBlock counters_;
+  std::array<PhaseTotal, kPhaseCount> phases_{};
+  std::int32_t depth_ = 0;
+  // Open spans with a real phase (!= kOther). Phase totals accumulate only
+  // when this is zero at span begin, so nested spans — a comm collective
+  // inside the decomposition, say — attribute their time to the outermost
+  // phase once and the per-phase times stay disjoint.
+  std::int32_t phase_depth_ = 0;
+};
+
+// Global collection switch. Relaxed is enough: enabling happens before the
+// instrumented work starts (program order on the enabling thread, rank
+// spawn provides the cross-thread ordering).
+inline std::atomic<bool> g_enabled{false};
+
+inline bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on);
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Create a channel for the calling thread. `vclock`, when non-null, must
+  // outlive the channel (parc passes the rank's clock; it is read only by
+  // the owning thread). No-op returning nullptr while telemetry is disabled,
+  // so idle test/bench runs don't grow the registry.
+  RankChannel* attach(int rank, const double* vclock = nullptr);
+  void detach();  // calling thread's channel stays in the registry for export
+
+  // Drop every channel (start of a fresh Session). Must not race live ranks.
+  void reset();
+
+  void set_capacity(std::size_t events_per_rank) { capacity_ = events_per_rank; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Stable snapshot of all channels, attach-ordered. The channels of joined
+  // ranks are safe to read; a live rank's channel may still be recording.
+  std::vector<const RankChannel*> channels() const;
+
+  // Wall clock shared by every channel: seconds since the registry epoch.
+  double now() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Registry() : epoch_(Clock::now()) {}
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<RankChannel>> channels_;
+  std::size_t capacity_ = 1 << 14;
+  Clock::time_point epoch_;
+};
+
+// The calling thread's channel (nullptr when unattached).
+RankChannel* channel();
+
+// Attach/detach sugar for the registry singleton.
+inline RankChannel* attach_rank(int rank, const double* vclock = nullptr) {
+  return Registry::instance().attach(rank, vclock);
+}
+inline void detach_rank() { Registry::instance().detach(); }
+
+// Scoped attach for rank threads and harness main threads.
+class RankScope {
+ public:
+  explicit RankScope(int rank, const double* vclock = nullptr) {
+    attach_rank(rank, vclock);
+  }
+  ~RankScope() { detach_rank(); }
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+};
+
+#ifndef HOTLIB_TELEMETRY_DISABLED
+
+// RAII timed scope. Construction snapshots wall + virtual time; destruction
+// records one 'X' event and accumulates the phase total (top-level spans of
+// a phase only).
+class Span {
+ public:
+  Span(const char* name, Phase phase, std::uint64_t arg = 0) {
+    if (!enabled()) return;
+    ch_ = channel();
+    if (ch_ == nullptr) return;
+    name_ = name;
+    phase_ = phase;
+    arg_ = arg;
+    if (phase != Phase::kOther) {
+      top_level_ = ch_->phase_depth_ == 0;
+      ++ch_->phase_depth_;
+    }
+    depth_ = ch_->depth_++;
+    wall0_ = Registry::instance().now();
+    virt0_ = ch_->vclock();
+  }
+
+  ~Span() {
+    if (ch_ == nullptr) return;
+    TraceEvent e;
+    e.name = name_;
+    e.phase = phase_;
+    e.type = 'X';
+    e.rank = ch_->rank();
+    e.depth = depth_;
+    e.wall_begin = wall0_;
+    e.wall_dur = Registry::instance().now() - wall0_;
+    e.virt_begin = virt0_;
+    e.virt_dur = ch_->vclock() - virt0_;
+    e.arg = arg_;
+    ch_->record(e);
+    --ch_->depth_;
+    if (phase_ != Phase::kOther) --ch_->phase_depth_;
+    if (top_level_) {
+      PhaseTotal& t = ch_->phases_[static_cast<std::size_t>(static_cast<int>(phase_))];
+      t.wall_seconds += e.wall_dur;
+      t.virt_seconds += e.virt_dur;
+      ++t.calls;
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Payload settable after construction (e.g. bytes only known at the end).
+  void set_arg(std::uint64_t arg) { arg_ = arg; }
+
+ private:
+  RankChannel* ch_ = nullptr;
+  const char* name_ = "";
+  Phase phase_ = Phase::kOther;
+  std::uint64_t arg_ = 0;
+  double wall0_ = 0.0;
+  double virt0_ = 0.0;
+  std::int32_t depth_ = 0;
+  bool top_level_ = false;
+};
+
+// Zero-duration marker event (fault injections, retransmissions, ...).
+inline void instant(const char* name, Phase phase, std::uint64_t arg = 0) {
+  if (!enabled()) return;
+  RankChannel* ch = channel();
+  if (ch == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = phase;
+  e.type = 'i';
+  e.rank = ch->rank();
+  e.depth = ch->depth();
+  e.wall_begin = Registry::instance().now();
+  e.virt_begin = ch->vclock();
+  e.arg = arg;
+  ch->record(e);
+}
+
+#else  // HOTLIB_TELEMETRY_DISABLED: spans and markers compile to nothing.
+
+class Span {
+ public:
+  Span(const char*, Phase, std::uint64_t = 0) {}
+  void set_arg(std::uint64_t) {}
+};
+
+inline void instant(const char*, Phase, std::uint64_t = 0) {}
+
+#endif
+
+}  // namespace hotlib::telemetry

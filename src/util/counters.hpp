@@ -1,56 +1,10 @@
-// counters.hpp — interaction and flop accounting.
+// counters.hpp — compatibility alias.
 //
-// The paper's performance statistics are "based on internal diagnostics
-// compiled by our program. Essentially, we keep track of the number of
-// interactions computed." We follow that rule exactly: interactions are
-// tallied where they are evaluated, flops are derived as
-// interactions x flops-per-interaction (38 for a Karp gravitational
-// monopole interaction), and no flops are credited to tree construction,
-// decomposition or other parallel constructs.
+// The interaction/flop accounting (InteractionTally, Throughput,
+// kFlopsPerGravityInteraction) moved into the telemetry subsystem, which
+// unifies it with the per-rank counter registry and run reports. This shim
+// keeps old includes building for one release; include
+// "telemetry/counters.hpp" directly in new code.
 #pragma once
 
-#include <cstdint>
-
-namespace hotlib {
-
-// Flop cost of one softened gravitational interaction using Karp's
-// reciprocal-sqrt decomposition (table lookup + Chebyshev + Newton-Raphson):
-// the count reported by the paper.
-inline constexpr int kFlopsPerGravityInteraction = 38;
-
-// Per-rank (or per-thread) tally of the work a solver actually performed.
-struct InteractionTally {
-  std::uint64_t body_body = 0;    // particle-particle (direct) interactions
-  std::uint64_t body_cell = 0;    // particle-multipole interactions
-  std::uint64_t cells_opened = 0; // MAC failures during traversal (overhead, no flops)
-  std::uint64_t mac_tests = 0;    // MAC evaluations (overhead, no flops)
-
-  std::uint64_t interactions() const { return body_body + body_cell; }
-
-  // Flops at a given per-interaction cost (38 for gravity monopole).
-  double flops(int flops_per_interaction = kFlopsPerGravityInteraction) const {
-    return static_cast<double>(interactions()) * flops_per_interaction;
-  }
-
-  InteractionTally& operator+=(const InteractionTally& o) {
-    body_body += o.body_body;
-    body_cell += o.body_cell;
-    cells_opened += o.cells_opened;
-    mac_tests += o.mac_tests;
-    return *this;
-  }
-  friend InteractionTally operator+(InteractionTally a, const InteractionTally& b) {
-    return a += b;
-  }
-};
-
-// Throughput report helper: interactions & elapsed time -> flops/sec.
-struct Throughput {
-  double flops = 0.0;
-  double seconds = 0.0;
-  double flops_per_second() const { return seconds > 0 ? flops / seconds : 0.0; }
-  double mflops() const { return flops_per_second() / 1e6; }
-  double gflops() const { return flops_per_second() / 1e9; }
-};
-
-}  // namespace hotlib
+#include "telemetry/counters.hpp"  // IWYU pragma: export

@@ -26,7 +26,7 @@
 
 #include "hot/mac.hpp"
 #include "hot/tree.hpp"
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 #include "util/vec3.hpp"
 
 namespace hotlib::vortex {

@@ -1,0 +1,365 @@
+// Tests for src/telemetry: ring-buffer wrap-around, span nesting and
+// phase attribution, the disabled path, exact counter/tally agreement,
+// concurrent per-rank recording under the parc runtime (the faults label
+// puts this file in the TSan slice), the strict JSON parser, and the
+// run-report/Chrome-trace exporters.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gravity/evaluator.hpp"
+#include "gravity/models.hpp"
+#include "hot/tree.hpp"
+#include "parc/parc.hpp"
+#include "telemetry/collect.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hotlib::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Registry::instance().reset();
+  }
+  void TearDown() override {
+    detach_rank();
+    set_enabled(false);
+    Registry::instance().reset();
+    Registry::instance().set_capacity(1 << 14);
+  }
+
+  // Spin until at least `seconds` of registry wall time has passed.
+  static void busy(double seconds) {
+    const double until = Registry::instance().now() + seconds;
+    while (Registry::instance().now() < until) {
+    }
+  }
+};
+
+// ---- ring buffer -----------------------------------------------------------
+
+TEST_F(TelemetryTest, RingKeepsEventsInOrderBeforeWrap) {
+  Registry::instance().set_capacity(16);
+  RankChannel* ch = attach_rank(0);
+  ASSERT_NE(ch, nullptr);
+  for (std::uint64_t i = 0; i < 5; ++i) instant("tick", Phase::kOther, i);
+  EXPECT_EQ(ch->size(), 5u);
+  EXPECT_EQ(ch->dropped(), 0u);
+  const auto events = ch->events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(events[i].arg, i);
+}
+
+TEST_F(TelemetryTest, RingWrapAroundKeepsNewestAndCountsDropped) {
+  Registry::instance().set_capacity(8);
+  RankChannel* ch = attach_rank(0);
+  ASSERT_NE(ch, nullptr);
+  for (std::uint64_t i = 0; i < 20; ++i) instant("tick", Phase::kOther, i);
+  EXPECT_EQ(ch->size(), 8u);
+  EXPECT_EQ(ch->capacity(), 8u);
+  EXPECT_EQ(ch->dropped(), 12u);
+  const auto events = ch->events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-to-newest: the 12 oldest were overwritten, 12..19 remain.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(events[i].arg, 12 + i);
+}
+
+// ---- spans -----------------------------------------------------------------
+
+TEST_F(TelemetryTest, SpanNestingRecordsDepths) {
+  RankChannel* ch = attach_rank(0);
+  ASSERT_NE(ch, nullptr);
+  {
+    Span outer("outer", Phase::kTreeBuild);
+    {
+      Span mid("mid", Phase::kTreeBuild);
+      Span inner("inner", Phase::kComm);
+    }
+  }
+  // Destruction order: inner, mid, outer.
+  const auto events = ch->events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_STREQ(events[1].name, "mid");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+  EXPECT_EQ(ch->depth(), 0);
+}
+
+TEST_F(TelemetryTest, OnlyTopLevelSpansAccumulatePhaseTotals) {
+  RankChannel* ch = attach_rank(0);
+  ASSERT_NE(ch, nullptr);
+  {
+    Span outer("outer", Phase::kTreeBuild);
+    // Nested spans — same phase and a different one — must not double-count:
+    // their time already lives inside the outer span's total.
+    Span same("nested_same", Phase::kTreeBuild);
+    Span comm("nested_comm", Phase::kComm);
+    busy(1e-4);
+  }
+  EXPECT_EQ(ch->phase_total(Phase::kTreeBuild).calls, 1u);
+  EXPECT_GT(ch->phase_total(Phase::kTreeBuild).wall_seconds, 0.0);
+  EXPECT_EQ(ch->phase_total(Phase::kComm).calls, 0u);
+  // kOther spans are traced but never enter the phase rollup.
+  { Span other("misc", Phase::kOther); }
+  EXPECT_EQ(ch->phase_total(Phase::kOther).calls, 0u);
+}
+
+TEST_F(TelemetryTest, DisabledPathRecordsNothing) {
+  set_enabled(false);
+  EXPECT_EQ(attach_rank(0), nullptr);
+  EXPECT_EQ(channel(), nullptr);
+  {
+    Span span("ghost", Phase::kForceEval, 7);
+    instant("ghost_marker", Phase::kComm);
+    count(Counter::kBodyBody, 99);
+  }
+  EXPECT_TRUE(Registry::instance().channels().empty());
+  EXPECT_EQ(global_counters()[Counter::kBodyBody], 0u);
+}
+
+// ---- counters --------------------------------------------------------------
+
+TEST_F(TelemetryTest, CounterBlockArithmetic) {
+  CounterBlock a, b;
+  a[Counter::kBodyBody] = 100;
+  a[Counter::kBodyCell] = 20;
+  b[Counter::kBodyBody] = 60;
+  const CounterBlock sum = a + b;
+  EXPECT_EQ(sum[Counter::kBodyBody], 160u);
+  const CounterBlock diff = sum - b;
+  EXPECT_EQ(diff[Counter::kBodyBody], 100u);
+  EXPECT_EQ(sum.interactions(), 180u);
+  EXPECT_DOUBLE_EQ(sum.flops(), 180.0 * kFlopsPerGravityInteraction);
+}
+
+TEST_F(TelemetryTest, RegistryFlopsMatchReturnedTallyExactly) {
+  attach_rank(0);
+  auto b = gravity::plummer_sphere(500, 42);
+  const auto domain = gravity::fit_domain(b);
+  hot::Tree tree;
+  tree.build(b.pos, b.mass, domain, {.bucket_size = 16});
+  const gravity::TreeForceConfig cfg{.mac = hot::Mac{.theta = 0.5},
+                                     .softening = 0.02};
+  const InteractionTally tally =
+      gravity::tree_forces(tree, b.pos, b.mass, cfg, b.acc, b.pot);
+  // The paper's acceptance bar: registry totals equal the tally bit-for-bit,
+  // because hot loops flush their local tally through count_tally() once.
+  const CounterBlock c = global_counters();
+  EXPECT_EQ(c[Counter::kBodyBody], tally.body_body);
+  EXPECT_EQ(c[Counter::kBodyCell], tally.body_cell);
+  EXPECT_EQ(c[Counter::kCellsOpened], tally.cells_opened);
+  EXPECT_EQ(c[Counter::kMacTests], tally.mac_tests);
+  EXPECT_EQ(c.interactions(), tally.interactions());
+  EXPECT_DOUBLE_EQ(c.flops(), tally.flops());
+  EXPECT_GT(c.interactions(), 0u);
+}
+
+// ---- concurrent rank recording (runs under TSan via the faults label) ------
+
+TEST_F(TelemetryTest, ConcurrentRankWritesStayPerChannel) {
+  constexpr int kRanks = 8;
+  constexpr std::uint64_t kIters = 2000;
+  parc::Runtime::run(kRanks, [&](parc::Rank& r) {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      Span span("work", Phase::kForceEval, i);
+      count(Counter::kBodyBody);
+      if ((i & 255) == 0) instant("marker", Phase::kComm, i);
+    }
+    // Cross-rank rollup via the collectives while ranks are live.
+    const CounterBlock all = allreduce_counters(r);
+    EXPECT_GE(all[Counter::kBodyBody], static_cast<std::uint64_t>(r.size()));
+  });
+  const auto channels = Registry::instance().channels();
+  ASSERT_EQ(channels.size(), static_cast<std::size_t>(kRanks));
+  std::uint64_t total = 0;
+  for (const RankChannel* ch : channels) {
+    EXPECT_GT(ch->size(), 0u);
+    EXPECT_EQ(ch->phase_total(Phase::kForceEval).calls, kIters);
+    total += ch->counters()[Counter::kBodyBody];
+  }
+  EXPECT_EQ(total, kRanks * kIters);
+  EXPECT_EQ(global_counters()[Counter::kBodyBody], kRanks * kIters);
+}
+
+// ---- strict JSON parser ----------------------------------------------------
+
+TEST(TelemetryJson, AcceptsValidDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           "-0.5e3",
+           "\"a\\n\\\"b\\\\c\\u0041\"",
+           "{\"a\":[1,2,{\"b\":null}],\"c\":false}",
+           "  [ 1 , 2 ]  ",
+       }) {
+    EXPECT_TRUE(json_parse(doc).ok) << doc;
+  }
+}
+
+TEST(TelemetryJson, RejectsMalformedDocuments) {
+  for (const char* doc : {
+           "",
+           "[1,2,]",          // trailing comma
+           "{\"a\":1,}",      // trailing comma in object
+           "01",              // leading zero
+           "+1",              // leading plus
+           "1.",              // bare decimal point
+           ".5",              // missing integer part
+           "nan",
+           "Infinity",
+           "'a'",             // single quotes
+           "\"a\nb\"",        // raw control character in string
+           "\"\\x41\"",       // invalid escape
+           "{}{}",            // trailing garbage
+           "{\"a\" 1}",       // missing colon
+           "{1:2}",           // non-string key
+           "[1 2]",           // missing comma
+           "{\"a\":}",        // missing value
+           "[",               // unterminated
+           "\"abc",           // unterminated string
+       }) {
+    const auto r = json_parse(doc);
+    EXPECT_FALSE(r.ok) << "accepted: " << doc;
+    EXPECT_FALSE(r.error.empty()) << doc;
+  }
+}
+
+TEST(TelemetryJson, WriterRoundTrips) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("tree \"build\"\n");
+  w.key("pi");
+  w.value(3.25);
+  w.key("big");
+  w.value(std::uint64_t{1} << 53);
+  w.key("list");
+  w.begin_array();
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  const auto r = json_parse(w.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.value.is_object());
+  EXPECT_EQ(r.value.find("name")->as_string(), "tree \"build\"\n");
+  EXPECT_DOUBLE_EQ(r.value.find("pi")->as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(r.value.find("big")->as_number(), 9007199254740992.0);
+  ASSERT_TRUE(r.value.find("list")->is_array());
+  EXPECT_TRUE(r.value.find("list")->as_array()[0].as_bool());
+  EXPECT_TRUE(r.value.find("list")->as_array()[1].is_null());
+}
+
+TEST(TelemetryJson, NumbersNeverEmitNanOrInf) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+}
+
+// ---- exporters -------------------------------------------------------------
+
+TEST_F(TelemetryTest, PhaseWallTimesSumToCoveredWall) {
+  attach_rank(0);
+  const double wall0 = Registry::instance().now();
+  { Span d("decompose", Phase::kDecompose); busy(2e-3); }
+  { Span t("tree_build", Phase::kTreeBuild); busy(2e-3); }
+  { Span f("tree_forces", Phase::kForceEval); busy(2e-3); }
+  const double covered = Registry::instance().now() - wall0;
+  const RunReport r = build_run_report("phase_sum", covered);
+  double phase_sum = 0;
+  for (const auto& p : r.phases) phase_sum += p.wall_seconds;
+  // Acceptance bar from the issue: per-phase times sum to the covered wall
+  // time within 5% (the gap is span setup + the gaps between scopes).
+  EXPECT_NEAR(phase_sum, covered, 0.05 * covered);
+  EXPECT_EQ(r.nranks, 1);
+}
+
+TEST_F(TelemetryTest, RunReportJsonIsStrictValid) {
+  attach_rank(0);
+  { Span t("tree_build", Phase::kTreeBuild, 123); busy(1e-4); }
+  count(Counter::kBodyBody, 41);
+  RunReport report = build_run_report("unit", 0.25);
+  report.metrics["custom_metric"] = 1.5;
+  const auto r = json_parse(run_report_json(report));
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.value.is_object());
+  EXPECT_EQ(r.value.find("schema")->as_string(), "hotlib-run-report-v1");
+  EXPECT_EQ(r.value.find("name")->as_string(), "unit");
+  EXPECT_DOUBLE_EQ(r.value.find("wall_seconds")->as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(
+      r.value.find("counters")->find(counter_name(Counter::kBodyBody))->as_number(),
+      41.0);
+  EXPECT_DOUBLE_EQ(r.value.find("metrics")->find("custom_metric")->as_number(), 1.5);
+  ASSERT_TRUE(r.value.find("phases")->is_array());
+  const auto& phase0 = r.value.find("phases")->as_array().at(0);
+  EXPECT_EQ(phase0.find("name")->as_string(), "tree_build");
+  EXPECT_DOUBLE_EQ(phase0.find("calls")->as_number(), 1.0);
+}
+
+TEST_F(TelemetryTest, ChromeTraceJsonIsStrictValidWithSpansAndInstants) {
+  attach_rank(3);
+  { Span t("tree_build", Phase::kTreeBuild); busy(1e-4); }
+  instant("fault_drop", Phase::kComm, 9);
+  const auto r = json_parse(chrome_trace_json());
+  ASSERT_TRUE(r.ok) << r.error;
+  // trace_event "JSON Object Format": {"traceEvents": [...]}.
+  ASSERT_TRUE(r.value.is_object());
+  ASSERT_NE(r.value.find("traceEvents"), nullptr);
+  ASSERT_TRUE(r.value.find("traceEvents")->is_array());
+  const JsonArray& events = r.value.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_complete = false, saw_instant = false;
+  for (const auto& e : events) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_DOUBLE_EQ(e.find("tid")->as_number(), 3.0);
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "X") {
+      saw_complete = true;
+      EXPECT_EQ(e.find("name")->as_string(), "tree_build");
+      EXPECT_GT(e.find("dur")->as_number(), 0.0);
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(e.find("name")->as_string(), "fault_drop");
+      EXPECT_DOUBLE_EQ(e.find("args")->find("arg")->as_number(), 9.0);
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST_F(TelemetryTest, SessionWritesSchemaValidReportFile) {
+  const auto dir = std::filesystem::temp_directory_path() / "hotlib_tel_test";
+  std::filesystem::create_directories(dir);
+  setenv("HOTLIB_REPORT_DIR", dir.c_str(), 1);
+  {
+    Session session("unittest");
+    { Span t("tree_build", Phase::kTreeBuild); busy(1e-4); }
+    session.metric("answer", 42.0);
+    session.set_modelled_seconds(1.5);
+  }
+  unsetenv("HOTLIB_REPORT_DIR");
+  std::ifstream in(dir / "BENCH_unittest.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto r = json_parse(buf.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.find("schema")->as_string(), "hotlib-run-report-v1");
+  EXPECT_EQ(r.value.find("name")->as_string(), "unittest");
+  EXPECT_DOUBLE_EQ(r.value.find("modelled_seconds")->as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(r.value.find("metrics")->find("answer")->as_number(), 42.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hotlib::telemetry

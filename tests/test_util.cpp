@@ -6,7 +6,7 @@
 #include <filesystem>
 #include <sstream>
 
-#include "util/counters.hpp"
+#include "telemetry/counters.hpp"
 #include "util/pgm.hpp"
 #include "util/rng.hpp"
 #include "util/snapshot.hpp"
