@@ -21,6 +21,7 @@
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -104,6 +105,7 @@ int main() {
     }
   }
   std::printf("\n%s\n", t.to_string().c_str());
+  telemetry::sample_now();
   std::printf(
       "Shape checks: ABM evaluates fewer interactions (no conservative import\n"
       "applied to every sink) and both keep message counts tiny relative to the\n"

@@ -17,6 +17,7 @@
 #include "gravity/models.hpp"
 #include "hot/hot.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -75,6 +76,7 @@ int main() {
                 TextTable::num(100.0 * m.interactions / nsq, 1) + "%"});
   }
   std::printf("(a) Barnes-Hut MAC sweep (quadrupole):\n%s\n", bh.to_string().c_str());
+  telemetry::sample_now();
 
   // (b) Salmon-Warren absolute error MAC.
   TextTable sw({"eps_abs", "RMS rel err", "ints/particle"});
@@ -88,6 +90,7 @@ int main() {
                 TextTable::num(static_cast<double>(m.interactions) / n, 0)});
   }
   std::printf("(b) Salmon-Warren error MAC sweep:\n%s\n", sw.to_string().c_str());
+  telemetry::sample_now();
 
   // (c) Monopole vs quadrupole at equal theta (the paper's expansion order).
   TextTable order({"expansion", "RMS rel err", "ints/particle"});
@@ -99,6 +102,7 @@ int main() {
                    TextTable::num(static_cast<double>(m.interactions) / n, 0)});
   }
   std::printf("(c) Expansion order at theta=0.45:\n%s\n", order.to_string().c_str());
+  telemetry::sample_now();
 
   // (d) Bucket size ablation: direct work vs traversal overhead.
   TextTable bucket({"bucket", "ints/particle", "MAC tests/particle", "RMS rel err"});
@@ -110,6 +114,7 @@ int main() {
                     TextTable::num(m.rms_rel * 1e3, 3) + "e-3"});
   }
   std::printf("(d) Leaf bucket size (theta=0.35):\n%s\n", bucket.to_string().c_str());
+  telemetry::sample_now();
 
   std::printf(
       "Shape checks: error falls monotonically with theta (~theta^4 with\n"

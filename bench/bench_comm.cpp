@@ -16,6 +16,7 @@
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -72,6 +73,7 @@ int main() {
                "41 us (co-processor mode)"});
     session.metric("loki_roundtrip_us", loki_v / reps * 1e6);
     std::printf("Ping-pong latency (1-byte messages):\n%s\n", t.to_string().c_str());
+    telemetry::sample_now();
   }
 
   // Bandwidth: large-message streaming.
@@ -92,6 +94,7 @@ int main() {
     t.add_row({"ASCI Red model", TextTable::num(moved / red_v / 1e6, 0) + " MB/s",
                "290 MB/s"});
     std::printf("Streaming bandwidth (1 MiB messages):\n%s\n", t.to_string().c_str());
+    telemetry::sample_now();
   }
 
   // ABM batching ablation: 10,000 scattered 16-byte requests from each rank.
@@ -119,6 +122,7 @@ int main() {
     }
     std::printf("Asynchronous batched messages (paper's ABM layer), 4 ranks x 10k requests:\n%s\n",
                 t.to_string().c_str());
+    telemetry::sample_now();
   }
 
   std::printf(

@@ -21,6 +21,7 @@
 #include "gravity/models.hpp"
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
+#include "telemetry/sample.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -111,6 +112,7 @@ int main() {
                TextTable::integer(static_cast<long long>(rel.counters[Counter::kAbmAcksSent])),
                TextTable::num(rel.stats.max_vclock, 4)});
   std::printf("%s\n", ovh.to_string().c_str());
+  telemetry::sample_now();
   const bool same_forces =
       std::memcmp(raw.acc.data(), rel.acc.data(), n * sizeof(Vec3d)) == 0;
   std::printf("virtual-time overhead of seq/ack/checksum machinery: %.2f%%  [%s]\n",
@@ -145,6 +147,7 @@ int main() {
          exact ? "bit-identical" : "DIVERGED"});
   }
   std::printf("%s\n", sweep.to_string().c_str());
+  telemetry::sample_now();
 
   // --- 3. telemetry's own cost when switched off -----------------------------
   const double span_ns = disabled_span_ns();

@@ -17,6 +17,7 @@
 #include "hot/tree.hpp"
 #include "morton/key.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/rng.hpp"
 
 using namespace hotlib;
@@ -179,6 +180,7 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks("BM_KarpRsqrt$|BM_MortonKey$");
   else
     benchmark::RunSpecifiedBenchmarks();
+  telemetry::sample_now();  // snapshot peak memory / tree gauges of the suite
   benchmark::Shutdown();
   return 0;
 }

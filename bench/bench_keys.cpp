@@ -13,6 +13,7 @@
 #include "morton/hilbert.hpp"
 #include "morton/key.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -94,6 +95,7 @@ int main() {
       session.metric("hilbert_keys_per_s", hilbert_m.keys_per_second);
     }
     std::printf("%s points (%zu):\n%s\n", dist, n, t.to_string().c_str());
+    telemetry::sample_now();
   }
   std::printf(
       "Shape checks: Hilbert's jump distance is smaller (every curve step is\n"

@@ -18,6 +18,7 @@
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -68,6 +69,7 @@ int main() {
   std::printf("Measured (%llu bodies, 4 ranks, this host: %.2e flops in %.1f s = %.0f Mflops):\n%s\n",
               static_cast<unsigned long long>(total_bodies), host_flops, host_secs,
               host_flops / host_secs / 1e6, meas.to_string().c_str());
+  telemetry::sample_now();
 
   // Model rows using the paper's own interaction counts.
   const auto loki = simnet::loki();
@@ -102,6 +104,7 @@ int main() {
   }
   std::printf("Machine-model rows (Loki: 16 procs, fast ethernet 11.5 MB/s / 104 us):\n%s\n",
               model.to_string().c_str());
+  telemetry::sample_now();
   std::printf(
       "Shape checks: interactions/particle grow as clustering develops (the\n"
       "879-vs-1190 Mflops gap); decomposition keeps imbalance near 1; $/Mflop\n"

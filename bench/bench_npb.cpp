@@ -29,6 +29,7 @@
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -161,6 +162,7 @@ int main() {
   }
   std::printf("Mini-kernel verification (reduced classes, this host):\n%s\n",
               host.to_string().c_str());
+  telemetry::sample_now();
 
   // ---- Table 4 + Figure 3: Class A scaling on Loki --------------------------
   const auto loki = simnet::loki();
@@ -199,8 +201,10 @@ int main() {
   std::printf("Table 4 analogue: modelled Loki Mops vs ranks (our op units;\n"
               "'*' marks a kernel whose reduced-class self-verification failed):\n%s\n",
               t4.to_string().c_str());
+  telemetry::sample_now();
   std::printf("Figure 3 analogue: parallel efficiency on Loki (modelled):\n%s\n",
               fig3.to_string().c_str());
+  telemetry::sample_now();
 
   // ---- Table 3: machine comparison at 16 processors -------------------------
   // Relative machine factors (documented calibration): GNU ~0.92x PGI on
@@ -232,6 +236,7 @@ int main() {
   }
   std::printf("Table 3 analogue: modelled 16-proc Mops per machine (our op units):\n%s\n",
               t3.to_string().c_str());
+  telemetry::sample_now();
   std::printf(
       "Shape checks: EP scales perfectly; IS efficiency collapses on fast\n"
       "ethernet and gains the most from the Red mesh (the paper's 14.8 -> 38.0\n"

@@ -16,6 +16,7 @@
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -53,6 +54,7 @@ int main() {
   }
   std::printf("Measured (this host, %zu bodies, 1 step; threads share one core):\n%s\n",
               n, real.to_string().c_str());
+  telemetry::sample_now();
 
   // (b) Machine-model projection of the paper's configuration.
   TextTable model({"configuration", "seconds", "Gflops", "paper"});
@@ -76,6 +78,7 @@ int main() {
   }
   std::printf("Machine-model projections (calibrated per DESIGN.md):\n%s\n",
               model.to_string().c_str());
+  telemetry::sample_now();
   std::printf(
       "Shape check: ring O(N^2) scales near-perfectly with ranks (compute >> comm),\n"
       "and the Red projection reproduces the paper's 635 Gflops / 239.3 s row.\n");

@@ -10,6 +10,7 @@
 #include "machine/prices.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 
 using namespace hotlib;
@@ -27,6 +28,7 @@ int main() {
                   "$" + TextTable::num(machine::total_price(machine::system_aug1997()), 0),
                   "~$28k"});
   std::printf("%s\n", totals.to_string().c_str());
+  telemetry::sample_now();
 
   // Price/performance ladder.
   TextTable pp({"system", "sustained", "$/Mflop", "Gflops/M$", "paper"});
@@ -41,6 +43,7 @@ int main() {
   const double aug97 = machine::total_price(machine::system_aug1997());
   row("Aug-1997 rebuild (projected)", aug97, 1.19e9, "~2x better");
   std::printf("Price/performance:\n%s\n", pp.to_string().c_str());
+  telemetry::sample_now();
 
   // GRAPE / Exaflops equivalence: what N^2 rate would match the treecode's
   // particles-per-second on the 322M-body problem?
@@ -67,6 +70,7 @@ int main() {
                  TextTable::num(grape_pps, 0) + " particles/s", "(1e5 x slower)"});
   std::printf("GRAPE / algorithm-equivalence (the paper's closing argument):\n%s\n",
               grape.to_string().c_str());
+  telemetry::sample_now();
   std::printf(
       "\"We make this point in order to firmly emphasize the advantages of a\n"
       " good algorithm.\" — the treecode's advantage is algorithmic, not Gflops.\n");

@@ -18,6 +18,7 @@
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -80,6 +81,7 @@ int main() {
   std::printf("Measured (16k-body benchmark; doubling ranks raises the LET volume —\n"
               "the traffic that crossed the SC'96 show floor):\n%s\n",
               meas.to_string().c_str());
+  telemetry::sample_now();
 
   const auto sc96 = simnet::sc96_cluster();
   const double ipp = 3000.0;  // treecode benchmark, moderately clustered
@@ -102,5 +104,6 @@ int main() {
                  "21"});
   std::printf("SC'96 model rows (32 procs, $103k incl. $3k of interconnect):\n%s\n",
               model.to_string().c_str());
+  telemetry::sample_now();
   return 0;
 }

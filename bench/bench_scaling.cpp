@@ -16,6 +16,7 @@
 #include "parc/parc.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 
 using namespace hotlib;
@@ -78,6 +79,7 @@ int main() {
   }
   std::printf("Strong scaling, 16k bodies (real pipeline, modelled time):\n%s\n",
               strong.to_string().c_str());
+  telemetry::sample_now();
 
   // Weak scaling: ~2k bodies per rank. The treecode's work per body grows
   // like log N, so efficiency is per-rank interaction throughput relative to
@@ -102,6 +104,7 @@ int main() {
   }
   std::printf("Weak scaling, 2k bodies/rank (per-rank interaction throughput):\n%s\n",
               weak.to_string().c_str());
+  telemetry::sample_now();
 
   // Analytic strong scaling of the calibrated model to paper scale.
   TextTable paper({"machine", "procs", "Gflops (model)", "paper"});
@@ -121,5 +124,6 @@ int main() {
   }
   std::printf("Analytic projection to paper scale (322M bodies, unclustered):\n%s\n",
               paper.to_string().c_str());
+  telemetry::sample_now();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "hot/hot.hpp"
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -71,6 +72,7 @@ int main() {
                  TextTable::num(c.seconds, 3),
                  TextTable::num(38.0 * c.interactions / c.seconds / 1e6, 0)});
   std::printf("Measured, %zu bodies, theta=0.35:\n%s\n", n, shape.to_string().c_str());
+  telemetry::sample_now();
 
   // (b) N log N vs N^2: interaction counts and the efficiency ratio.
   TextTable scaling({"N", "tree ints", "N^2 ints", "ratio", "tree s", "direct s"});
@@ -94,6 +96,7 @@ int main() {
          TextTable::num(tr.seconds, 3), TextTable::num(ds, 3)});
   }
   std::printf("O(N log N) vs O(N^2) (measured):\n%s\n", scaling.to_string().c_str());
+  telemetry::sample_now();
   std::printf(
       "Extrapolating the measured interactions/particle (~%.0f) to N = 322e6:\n"
       "  ratio N^2/tree = %.1e  (paper: \"approximately 1e5 times more efficient\")\n\n",
@@ -118,6 +121,7 @@ int main() {
                  TextTable::num(tree_pps / nsq_pps / 1e3, 0) + "e3 x",
                  "3M vs 52 => ~1e5 x"});
   std::printf("Machine-model projections:\n%s\n", model.to_string().c_str());
+  telemetry::sample_now();
   session.metric("interactions_per_particle_clustered", c.per_particle);
   session.metric("gflops_model_first5", early.gflops());
   session.metric("gflops_model_sustained", sustained.gflops());

@@ -13,6 +13,7 @@
 
 #include "simnet/machine.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/sample.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "vortex/remesh.hpp"
@@ -52,6 +53,7 @@ int main() {
 
   std::printf("Measured (2 rings, %zu -> %zu particles through remeshing):\n%s\n", n0,
               p.size(), growth.to_string().c_str());
+  telemetry::sample_now();
   std::printf("  impulse drift %.2e; %.2e flops in %.1f s => %.0f Mflops (host)\n\n",
               norm(p.linear_impulse() - imp0) / norm(imp0), flops, secs,
               flops / secs / 1e6);
@@ -74,6 +76,7 @@ int main() {
   session.metric("mflops_model_16proc", 16 * per_proc * 0.92 / 1e6);
   session.metric("final_particles", static_cast<double>(p.size()));
   std::printf("Hyglac model rows:\n%s\n", model.to_string().c_str());
+  telemetry::sample_now();
   std::printf(
       "Shape checks: remeshing grows the particle count (57k -> 360k in the\n"
       "paper); each vortex interaction costs ~%dx the 38-flop gravity kernel,\n"

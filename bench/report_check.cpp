@@ -140,6 +140,49 @@ int main(int argc, char** argv) {
     if (!metrics->is_object()) fail("\"metrics\" is not an object");
   }
 
+  // Health-sampler timeseries: columnar per-rank series where every column
+  // has the same length and every registered gauge has a track. The session
+  // always commits a final snapshot, so at least one series must exist.
+  if (const JsonValue* ts = need(root, "timeseries")) {
+    if (!ts->is_array()) {
+      fail("\"timeseries\" is not an array");
+    } else {
+      if (ts->as_array().empty()) fail("timeseries has no rank series");
+      for (const JsonValue& s : ts->as_array()) {
+        if (!s.is_object()) {
+          fail("timeseries entry is not an object");
+          continue;
+        }
+        if (need_number(s, "rank") < 0) fail("timeseries rank < 0");
+        if (need_number(s, "stride_ticks") < 1) fail("timeseries stride_ticks < 1");
+        std::size_t nsamples = 0;
+        const JsonValue* tick = need(s, "tick");
+        if (tick != nullptr && tick->is_array()) {
+          nsamples = tick->as_array().size();
+          if (nsamples == 0) fail("timeseries series with zero samples");
+        } else {
+          fail("timeseries \"tick\" is not an array");
+        }
+        for (const char* col : {"wall_s", "virt_s"}) {
+          const JsonValue* v = need(s, col);
+          if (v == nullptr || !v->is_array() || v->as_array().size() != nsamples)
+            fail(std::string("timeseries \"") + col + "\" missing or length mismatch");
+        }
+        const JsonValue* gauges = need(s, "gauges");
+        if (gauges == nullptr || !gauges->is_object()) {
+          fail("timeseries \"gauges\" is not an object");
+          continue;
+        }
+        for (int i = 0; i < kGaugeCount; ++i) {
+          const char* key = gauge_name(static_cast<Gauge>(i));
+          const JsonValue* track = gauges->find(key);
+          if (track == nullptr || !track->is_array() || track->as_array().size() != nsamples)
+            fail(std::string("gauge track ") + key + " missing or length mismatch");
+        }
+      }
+    }
+  }
+
   if (g_failures == 0) {
     std::printf("report_check: %s OK\n", report.c_str());
     return 0;

@@ -1,0 +1,18 @@
+#!/bin/sh
+# perf_gate.sh — one-command performance gate: configure, build, and run the
+# perf-gate ctest slice (every bench harness at tiny sizes checked against
+# the committed baselines in bench/baselines/ via hotlib-analyze).
+#
+#   scripts/perf_gate.sh [build-dir]
+#
+# Exit status is the gate verdict. See docs/observability.md for the
+# tolerance policy and tools/update_baselines.sh for refreshing baselines
+# after an intentional behaviour change.
+set -eu
+
+build=${1:-build}
+src=$(dirname "$0")/..
+
+cmake -B "$build" -S "$src"
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$build" -L perf-gate --output-on-failure

@@ -7,6 +7,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "telemetry/sample.hpp"
 #include "telemetry/trace.hpp"
 
 namespace hotlib::hot {
@@ -470,6 +471,11 @@ DistributedTree::Stats DistributedTree::traverse(const Mac& mac, const GroupEval
   // what turned into a remote key request.
   telemetry::count(telemetry::Counter::kHashHits, stats.cache_hits);
   telemetry::count(telemetry::Counter::kHashMisses, stats.requests_sent);
+  // Resident remote-cell cache after this traversal — together with the
+  // local-tree gauges this is the rank's whole tree memory footprint.
+  telemetry::gauge_set(telemetry::Gauge::kDtreeCacheCells,
+                       static_cast<double>(cache_.size()));
+  telemetry::gauge_set(telemetry::Gauge::kHashMeanProbe, tree_.hash().mean_probe());
   span.set_arg(stats.requests_sent);
   return stats;
 }

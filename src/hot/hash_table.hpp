@@ -32,12 +32,22 @@ class KeyHashTable {
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return slots_.size(); }
   std::uint64_t probes() const { return probes_; }
+  std::uint64_t operations() const { return ops_; }
+  // Occupied fraction and probes per operation — the health-sampler gauges
+  // (1.0 mean probe = every lookup hit its home slot).
+  double load_factor() const {
+    return slots_.empty() ? 0.0 : static_cast<double>(size_) / static_cast<double>(slots_.size());
+  }
+  double mean_probe() const {
+    return ops_ > 0 ? static_cast<double>(probes_) / static_cast<double>(ops_) : 0.0;
+  }
 
   // Insert key -> value; key must be nonzero and not already present
   // (duplicate insert overwrites, matching how a rebuilt cell replaces the
   // cached copy from a previous traversal).
   void insert(std::uint64_t key, std::uint32_t value) {
     if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    ++ops_;
     std::size_t i = index_of(key);
     for (;;) {
       ++probes_;
@@ -58,6 +68,7 @@ class KeyHashTable {
 
   // Returns kNotFound when absent.
   std::uint32_t find(std::uint64_t key) const {
+    ++ops_;
     std::size_t i = index_of(key);
     for (;;) {
       ++probes_;
@@ -103,6 +114,7 @@ class KeyHashTable {
   int shift_ = 64;
   std::size_t size_ = 0;
   mutable std::uint64_t probes_ = 0;
+  mutable std::uint64_t ops_ = 0;
 };
 
 }  // namespace hotlib::hot

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "telemetry/sample.hpp"
 #include "telemetry/trace.hpp"
 
 namespace hotlib::hot {
@@ -87,6 +88,14 @@ void Tree::build(std::span<const Vec3d> pos, std::span<const double> mass,
 
   for (std::size_t i = 0; i < cells_.size(); ++i)
     hash_.insert(cells_[i].key, static_cast<std::uint32_t>(i));
+
+  // Health gauges: resident tree size and hash-table shape of the build this
+  // rank now holds (the sampler snapshots them on the parc tick).
+  telemetry::gauge_set(telemetry::Gauge::kTreeCells, static_cast<double>(cells_.size()));
+  telemetry::gauge_set(telemetry::Gauge::kTreeBodies, static_cast<double>(n));
+  telemetry::gauge_set(telemetry::Gauge::kHashEntries, static_cast<double>(hash_.size()));
+  telemetry::gauge_set(telemetry::Gauge::kHashSlots, static_cast<double>(hash_.capacity()));
+  telemetry::gauge_set(telemetry::Gauge::kHashMeanProbe, hash_.mean_probe());
 }
 
 // Splits the already-created cell `ci` covering keys_[lo, hi) at `level`.

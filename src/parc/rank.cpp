@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "telemetry/sample.hpp"
 #include "telemetry/trace.hpp"
 
 namespace hotlib::parc {
@@ -382,7 +383,32 @@ std::size_t Rank::am_poll() {
         am_send_ack(s);
     }
   }
+  // Health sampling rides the poll loop: every rank polls while it waits, so
+  // snapshots land exactly where congestion happens (deterministic in ticks,
+  // not wall time). sample_tick() is a relaxed-load no-op when disabled.
+  if (tel::sample_tick()) am_sample_health();
   return dispatched;
+}
+
+void Rank::am_sample_health() {
+  std::uint64_t backlog_batches = 0, backlog_bytes = 0, retry_batches = 0;
+  for (const AmOutChannel& oc : am_out_) {
+    backlog_batches += oc.unacked.size();
+    for (const auto& u : oc.unacked) {
+      backlog_bytes += u.wire.size();
+      if (u.attempts > 0) ++retry_batches;
+    }
+  }
+  std::uint64_t ooo_batches = 0;
+  for (const AmInChannel& ic : am_in_) ooo_batches += ic.out_of_order.size();
+  std::uint64_t pending_bytes = 0;
+  for (const Bytes& b : am_batches_) pending_bytes += b.size();
+  tel::gauge_set(tel::Gauge::kAbmSendBacklogBatches, static_cast<double>(backlog_batches));
+  tel::gauge_set(tel::Gauge::kAbmSendBacklogBytes, static_cast<double>(backlog_bytes));
+  tel::gauge_set(tel::Gauge::kAbmRetryBacklogBatches, static_cast<double>(retry_batches));
+  tel::gauge_set(tel::Gauge::kAbmRecvOooBatches, static_cast<double>(ooo_batches));
+  tel::gauge_set(tel::Gauge::kAbmPendingPostBytes, static_cast<double>(pending_bytes));
+  tel::sample_now();
 }
 
 void Rank::am_quiesce() {

@@ -291,6 +291,7 @@ class Rank {
   void am_ship_batch(int dst);
   std::size_t am_dispatch_records(int source, std::span<const std::uint8_t> records);
   void am_progress();
+  void am_sample_health();  // refresh queue-depth gauges + commit a snapshot
   void am_abandon_channel(int dst);
   void am_send_ack(int src);
   Bytes broadcast_bytes(Bytes value, int root);

@@ -138,6 +138,39 @@ struct CounterBlock {
   }
 };
 
+// Instantaneous health gauges, one slot per quantity. Where a Counter only
+// ever accumulates, a Gauge is a *level* — queue depth, table occupancy,
+// resident bytes — whose current value the health sampler (sample.hpp)
+// snapshots into the per-rank timeseries ring. Adding a gauge means adding
+// an enumerator and its name; the sampler, exporters and hotlib-analyze
+// iterate the enum and need no other change.
+enum class Gauge : int {
+  // ABM reliability-layer queue depths (sampled on the parc tick).
+  kAbmSendBacklogBatches = 0,  // sent but unacknowledged batches
+  kAbmSendBacklogBytes,        // wire bytes held for possible retransmission
+  kAbmRetryBacklogBatches,     // unacked batches already retransmitted >= once
+  kAbmRecvOooBatches,          // receiver-side batches buffered past a seq gap
+  kAbmPendingPostBytes,        // posted records not yet shipped in a batch
+  // Key hash table of the most recently built local tree.
+  kHashEntries,
+  kHashSlots,
+  kHashMeanProbe,  // cumulative probes / operations (1.0 = no collisions)
+  // Resident tree size (local cells/bodies of the last build) and the
+  // distributed-traversal remote-cell cache.
+  kTreeCells,
+  kTreeBodies,
+  kDtreeCacheCells,
+  // Malloc-counting memory gauge (global operator new/delete, see sample.cpp).
+  kMemLiveBytes,
+  kMemPeakBytes,
+  kCount
+};
+
+inline constexpr int kGaugeCount = static_cast<int>(Gauge::kCount);
+
+// Stable machine-readable name (timeseries JSON key) of each gauge.
+const char* gauge_name(Gauge g);
+
 // Add to the calling thread's rank channel; no-op when the thread is not
 // attached (see trace.hpp) — a single thread-local load and branch.
 void count(Counter c, std::uint64_t n = 1);

@@ -35,15 +35,22 @@ std::string json_escape(std::string_view s) {
 
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "0";
-  // Integers up to 2^53 print exactly without an exponent; everything else
-  // uses shortest-round-trip via %.17g.
+  // Integers up to 2^53 print exactly without an exponent or trailing ".0".
   if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.0f", v);
     return buf;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Shortest round-trip: the fewest significant digits that strtod maps back
+  // to the identical double. 17 digits always suffice (and always succeed),
+  // but most values need far fewer — 0.1 prints as "0.1", not
+  // "0.10000000000000001" — which keeps reports readable and baseline diffs
+  // byte-stable.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   return buf;
 }
 
@@ -153,6 +160,14 @@ class Parser {
       }
       std::string key;
       if (!parse_string(key)) return false;
+      if (obj->find(key) != obj->end()) {
+        // RFC 8259 only says names "should" be unique, but every document we
+        // produce or consume is machine-written with unique keys — a
+        // duplicate means a broken writer, and silently keeping one value
+        // would corrupt a baseline comparison.
+        fail("duplicate object key \"" + key + "\"");
+        return false;
+      }
       skip_ws();
       if (eof() || peek() != ':') {
         fail("expected ':' after key");

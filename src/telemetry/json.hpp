@@ -1,10 +1,12 @@
 // json.hpp — minimal JSON writer and strict validating parser.
 //
 // The exporters (report.hpp) need a correct writer with full string
-// escaping; the test suite and the bench-smoke checker need a *strict*
-// reader that rejects anything RFC 8259 rejects (trailing commas, bare
-// values, unescaped control characters, duplicate keys are allowed by the
-// RFC and by us). No third-party dependency — the whole repo rule.
+// escaping and shortest-round-trip number formatting; the test suite, the
+// bench-smoke checker and hotlib-analyze need a *strict* reader that
+// rejects anything RFC 8259 rejects (trailing commas, bare values,
+// unescaped control characters) plus duplicate object keys, which the RFC
+// merely discourages but which would corrupt a baseline comparison. No
+// third-party dependency — the whole repo rule.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +25,8 @@ namespace hotlib::telemetry {
 std::string json_escape(std::string_view s);
 
 // Render a double as a JSON number (never NaN/Inf — those become 0, JSON has
-// no spelling for them; full round-trip precision otherwise).
+// no spelling for them). Shortest round-trip: the fewest digits whose strtod
+// re-parse yields the identical double.
 std::string json_number(double v);
 
 // Incremental writer for objects/arrays; keeps comma state so call sites

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "telemetry/json.hpp"
+#include "telemetry/sample.hpp"
 
 namespace hotlib::telemetry {
 
@@ -70,6 +71,20 @@ RunReport build_run_report(const std::string& name, double wall_seconds) {
 
   r.nranks = static_cast<int>(ranks.size());
   for (const auto& [rank, rr] : ranks) r.ranks.push_back(rr);
+
+  // Health-sampler series, rank-ordered. A session spanning several
+  // Runtime::run invocations yields one series per channel; same-rank
+  // channels stay separate entries (their tick clocks are independent).
+  for (const RankChannel* ch : Registry::instance().channels()) {
+    if (ch->samples().empty()) continue;
+    RankSeries s;
+    s.rank = ch->rank();
+    s.stride_ticks = ch->sample_stride();
+    s.samples = ch->samples();
+    r.timeseries.push_back(std::move(s));
+  }
+  std::stable_sort(r.timeseries.begin(), r.timeseries.end(),
+                   [](const RankSeries& a, const RankSeries& b) { return a.rank < b.rank; });
   return r;
 }
 
@@ -129,6 +144,42 @@ std::string run_report_json(const RunReport& r) {
     w.value(rr.events);
     w.key("events_dropped");
     w.value(rr.events_dropped);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Columnar per-rank health series: parallel arrays keep the section
+  // compact and stable-keyed (every gauge track is always present).
+  w.key("timeseries");
+  w.begin_array();
+  for (const RankSeries& s : r.timeseries) {
+    w.begin_object();
+    w.key("rank");
+    w.value(s.rank);
+    w.key("stride_ticks");
+    w.value(s.stride_ticks);
+    w.key("tick");
+    w.begin_array();
+    for (const HealthSample& h : s.samples) w.value(h.tick);
+    w.end_array();
+    w.key("wall_s");
+    w.begin_array();
+    for (const HealthSample& h : s.samples) w.value(h.wall);
+    w.end_array();
+    w.key("virt_s");
+    w.begin_array();
+    for (const HealthSample& h : s.samples) w.value(h.virt);
+    w.end_array();
+    w.key("gauges");
+    w.begin_object();
+    for (int g = 0; g < kGaugeCount; ++g) {
+      w.key(gauge_name(static_cast<Gauge>(g)));
+      w.begin_array();
+      for (const HealthSample& h : s.samples)
+        w.value(h.gauges[static_cast<std::size_t>(g)]);
+      w.end_array();
+    }
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -197,6 +248,31 @@ std::string chrome_trace_json() {
       w.end_object();
     }
   }
+  // Health samples as 'C' counter events: one "health" track per rank, the
+  // gauges as series (Perfetto draws them as stacked counter plots).
+  for (const RankChannel* ch : Registry::instance().channels()) {
+    for (const HealthSample& h : ch->samples()) {
+      w.begin_object();
+      w.key("name");
+      w.value("health");
+      w.key("ph");
+      w.value("C");
+      w.key("pid");
+      w.value(0);
+      w.key("tid");
+      w.value(static_cast<std::int64_t>(ch->rank()));
+      w.key("ts");
+      w.value(h.wall * 1e6);
+      w.key("args");
+      w.begin_object();
+      for (int g = 0; g < kGaugeCount; ++g) {
+        w.key(gauge_name(static_cast<Gauge>(g)));
+        w.value(h.gauges[static_cast<std::size_t>(g)]);
+      }
+      w.end_object();
+      w.end_object();
+    }
+  }
   w.end_array();
   w.key("displayTimeUnit");
   w.value("ms");
@@ -225,6 +301,7 @@ Session::Session(std::string name) : name_(std::move(name)) {
   Registry::instance().reset();
   const char* off = std::getenv("HOTLIB_TELEMETRY");
   set_enabled(!(off != nullptr && off[0] == '0' && off[1] == '\0'));
+  mem_gauge_reset();  // memory gauge reads as net allocation since run start
   attach_rank(0);
   wall0_ = Registry::instance().now();
 }
@@ -241,6 +318,9 @@ void Session::set_modelled_seconds(double s) { modelled_seconds_ = s; }
 
 RunReport Session::finish() {
   finished_ = true;
+  // Final health snapshot on the harness thread, so even a run that never
+  // ticked the sampler (serial, no parc traffic) reports a timeseries.
+  sample_now();
   RunReport r = build_run_report(name_, Registry::instance().now() - wall0_);
   r.modelled_seconds = modelled_seconds_;
   r.metrics = metrics_;

@@ -51,6 +51,14 @@ struct RankReport {
   std::uint64_t events_dropped = 0;
 };
 
+// One rank's health-sampler series (sample.hpp): every snapshot the rank's
+// channel committed, oldest first, plus the final decimation stride.
+struct RankSeries {
+  int rank = 0;
+  std::uint64_t stride_ticks = 0;
+  std::vector<HealthSample> samples;
+};
+
 struct RunReport {
   std::string name;          // harness name, e.g. "treecode"
   int nranks = 0;            // distinct rank ids seen
@@ -58,6 +66,7 @@ struct RunReport {
   double modelled_seconds = 0.0;  // harness-supplied virtual makespan (0 = n/a)
   std::vector<PhaseReport> phases;  // only phases that actually ran
   std::vector<RankReport> ranks;
+  std::vector<RankSeries> timeseries;  // ranks that committed >= 1 sample
   CounterBlock counters;
   std::map<std::string, double> metrics;  // harness-specific extras
 

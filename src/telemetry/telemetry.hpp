@@ -9,4 +9,5 @@
 #include "telemetry/counters.hpp"  // IWYU pragma: export
 #include "telemetry/json.hpp"      // IWYU pragma: export
 #include "telemetry/report.hpp"    // IWYU pragma: export
+#include "telemetry/sample.hpp"    // IWYU pragma: export
 #include "telemetry/trace.hpp"     // IWYU pragma: export

@@ -50,6 +50,26 @@ const char* counter_name(Counter c) {
   return "?";
 }
 
+const char* gauge_name(Gauge g) {
+  switch (g) {
+    case Gauge::kAbmSendBacklogBatches: return "abm_send_backlog_batches";
+    case Gauge::kAbmSendBacklogBytes: return "abm_send_backlog_bytes";
+    case Gauge::kAbmRetryBacklogBatches: return "abm_retry_backlog_batches";
+    case Gauge::kAbmRecvOooBatches: return "abm_recv_ooo_batches";
+    case Gauge::kAbmPendingPostBytes: return "abm_pending_post_bytes";
+    case Gauge::kHashEntries: return "hash_entries";
+    case Gauge::kHashSlots: return "hash_slots";
+    case Gauge::kHashMeanProbe: return "hash_mean_probe";
+    case Gauge::kTreeCells: return "tree_cells";
+    case Gauge::kTreeBodies: return "tree_bodies";
+    case Gauge::kDtreeCacheCells: return "dtree_cache_cells";
+    case Gauge::kMemLiveBytes: return "mem_live_bytes";
+    case Gauge::kMemPeakBytes: return "mem_peak_bytes";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 Registry& Registry::instance() {
@@ -63,7 +83,8 @@ RankChannel* Registry::attach(int rank, const double* vclock) {
     return nullptr;
   }
   std::lock_guard lock(mu_);
-  channels_.push_back(std::make_unique<RankChannel>(rank, capacity_, vclock));
+  channels_.push_back(
+      std::make_unique<RankChannel>(rank, capacity_, sample_capacity_, vclock));
   t_channel = channels_.back().get();
   return t_channel;
 }

@@ -66,10 +66,25 @@ struct PhaseTotal {
   std::uint64_t calls = 0;
 };
 
+// One snapshot of every gauge on one rank, taken by the health sampler
+// (sample.hpp). `tick` is the rank's progress-tick count at the snapshot —
+// the same scheduling-independent clock the reliable ABM layer retries on —
+// so a sample sequence is meaningful in virtual time, not just wall time.
+struct HealthSample {
+  std::uint64_t tick = 0;
+  double wall = 0.0;  // seconds since the registry epoch
+  double virt = 0.0;  // parc virtual time (0 when the rank has no clock)
+  std::array<double, kGaugeCount> gauges{};
+};
+
 class RankChannel {
  public:
-  RankChannel(int rank, std::size_t capacity, const double* vclock)
-      : rank_(rank), vclock_(vclock), ring_(capacity) {}
+  RankChannel(int rank, std::size_t capacity, std::size_t sample_capacity,
+              const double* vclock)
+      : rank_(rank), vclock_(vclock), ring_(capacity),
+        sample_capacity_(sample_capacity) {
+    samples_.reserve(sample_capacity_);
+  }
 
   int rank() const { return rank_; }
   double vclock() const { return vclock_ != nullptr ? *vclock_ : 0.0; }
@@ -103,10 +118,22 @@ class RankChannel {
     return phases_[static_cast<std::size_t>(static_cast<int>(p))];
   }
 
+  // ---- health sampler state (driven by sample.hpp) ----
+  double gauge(Gauge g) const { return gauges_[static_cast<std::size_t>(static_cast<int>(g))]; }
+  const std::vector<HealthSample>& samples() const { return samples_; }
+  // Current decimation stride: a snapshot is committed every stride-th tick.
+  // Doubles whenever the sample ring fills (every other sample is dropped),
+  // so the series always covers the whole run at bounded memory.
+  std::uint64_t sample_stride() const { return sample_stride_; }
+
  private:
   friend class Span;
   friend void count(Counter, std::uint64_t);
   friend void count_tally(const InteractionTally&);
+  friend void gauge_set(Gauge, double);
+  friend void gauge_add(Gauge, double);
+  friend bool sample_tick();
+  friend void sample_now();
 
   int rank_;
   const double* vclock_;  // the owning thread's parc virtual clock, if any
@@ -116,6 +143,11 @@ class RankChannel {
   std::uint64_t dropped_ = 0;
   CounterBlock counters_;
   std::array<PhaseTotal, kPhaseCount> phases_{};
+  std::array<double, kGaugeCount> gauges_{};
+  std::vector<HealthSample> samples_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t sample_stride_ = 16;
+  std::size_t sample_capacity_;
   std::int32_t depth_ = 0;
   // Open spans with a real phase (!= kOther). Phase totals accumulate only
   // when this is zero at span begin, so nested spans — a comm collective
@@ -148,6 +180,10 @@ class Registry {
 
   void set_capacity(std::size_t events_per_rank) { capacity_ = events_per_rank; }
   std::size_t capacity() const { return capacity_; }
+  void set_sample_capacity(std::size_t samples_per_rank) {
+    sample_capacity_ = samples_per_rank;
+  }
+  std::size_t sample_capacity() const { return sample_capacity_; }
 
   // Stable snapshot of all channels, attach-ordered. The channels of joined
   // ranks are safe to read; a live rank's channel may still be recording.
@@ -165,6 +201,7 @@ class Registry {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<RankChannel>> channels_;
   std::size_t capacity_ = 1 << 14;
+  std::size_t sample_capacity_ = 256;
   Clock::time_point epoch_;
 };
 

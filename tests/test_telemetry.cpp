@@ -32,6 +32,7 @@ class TelemetryTest : public ::testing::Test {
     set_enabled(false);
     Registry::instance().reset();
     Registry::instance().set_capacity(1 << 14);
+    Registry::instance().set_sample_capacity(256);
   }
 
   // Spin until at least `seconds` of registry wall time has passed.
@@ -190,6 +191,152 @@ TEST_F(TelemetryTest, ConcurrentRankWritesStayPerChannel) {
   EXPECT_EQ(global_counters()[Counter::kBodyBody], kRanks * kIters);
 }
 
+// ---- health sampler --------------------------------------------------------
+
+TEST_F(TelemetryTest, GaugesAreSetAddAndSnapshotted) {
+  RankChannel* ch = attach_rank(0);
+  ASSERT_NE(ch, nullptr);
+  gauge_set(Gauge::kTreeCells, 100.0);
+  gauge_add(Gauge::kTreeCells, 32.0);
+  gauge_set(Gauge::kHashMeanProbe, 1.25);
+  EXPECT_DOUBLE_EQ(ch->gauge(Gauge::kTreeCells), 132.0);
+  EXPECT_DOUBLE_EQ(ch->gauge(Gauge::kHashMeanProbe), 1.25);
+  EXPECT_TRUE(ch->samples().empty());
+  sample_now();
+  ASSERT_EQ(ch->samples().size(), 1u);
+  const HealthSample& s = ch->samples().back();
+  EXPECT_DOUBLE_EQ(s.gauges[static_cast<std::size_t>(Gauge::kTreeCells)], 132.0);
+  EXPECT_DOUBLE_EQ(s.gauges[static_cast<std::size_t>(Gauge::kHashMeanProbe)], 1.25);
+  EXPECT_GE(s.wall, 0.0);
+}
+
+TEST_F(TelemetryTest, SampleTickFiresOncePerStride) {
+  RankChannel* ch = attach_rank(0);
+  ASSERT_NE(ch, nullptr);
+  const std::uint64_t stride = ch->sample_stride();
+  ASSERT_GT(stride, 1u);
+  int fired = 0;
+  for (std::uint64_t i = 0; i < 3 * stride; ++i)
+    if (sample_tick()) {
+      ++fired;
+      sample_now();
+    }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(ch->samples().size(), 3u);
+}
+
+TEST_F(TelemetryTest, SampleRingDecimatesInsteadOfDropping) {
+  Registry::instance().set_sample_capacity(8);
+  RankChannel* ch = attach_rank(0);
+  ASSERT_NE(ch, nullptr);
+  const std::uint64_t stride0 = ch->sample_stride();
+  for (int i = 0; i < 100; ++i) {
+    gauge_set(Gauge::kTreeCells, static_cast<double>(i));
+    sample_now();
+  }
+  // Bounded memory: the ring halves itself (keeping every other sample) and
+  // doubles the stride rather than discarding the newest or oldest samples.
+  EXPECT_LE(ch->samples().size(), 8u);
+  EXPECT_GT(ch->sample_stride(), stride0);
+  // Coverage spans the whole run: first-ish and the latest sample survive.
+  EXPECT_DOUBLE_EQ(ch->samples().back().gauges[static_cast<std::size_t>(Gauge::kTreeCells)],
+                   99.0);
+  EXPECT_LT(ch->samples().front().gauges[static_cast<std::size_t>(Gauge::kTreeCells)],
+            50.0);
+}
+
+TEST_F(TelemetryTest, SamplerDisabledPathIsInert) {
+  set_enabled(false);
+  gauge_set(Gauge::kTreeCells, 5.0);
+  gauge_add(Gauge::kTreeBodies, 5.0);
+  EXPECT_FALSE(sample_tick());
+  sample_now();
+  EXPECT_TRUE(Registry::instance().channels().empty());
+}
+
+TEST_F(TelemetryTest, MemoryGaugeTracksLiveAndPeakBytes) {
+  mem_gauge_reset();
+  const double live0 = mem_live_bytes();
+  {
+    std::vector<char> block(1 << 20);
+    EXPECT_GE(mem_live_bytes(), live0 + (1 << 20));
+    EXPECT_GE(mem_peak_bytes(), mem_live_bytes());
+  }
+  EXPECT_LT(mem_live_bytes(), live0 + (1 << 20));
+  EXPECT_GE(mem_peak_bytes(), live0 + (1 << 20));  // peak survives the free
+}
+
+TEST_F(TelemetryTest, RunReportJsonCarriesTimeseries) {
+  attach_rank(2);
+  gauge_set(Gauge::kTreeCells, 7.0);
+  sample_now();
+  sample_now();
+  const auto r = json_parse(run_report_json(build_run_report("ts", 0.1)));
+  ASSERT_TRUE(r.ok) << r.error;
+  const JsonValue* ts = r.value.find("timeseries");
+  ASSERT_NE(ts, nullptr);
+  ASSERT_TRUE(ts->is_array());
+  ASSERT_EQ(ts->as_array().size(), 1u);
+  const JsonValue& s = ts->as_array()[0];
+  EXPECT_DOUBLE_EQ(s.find("rank")->as_number(), 2.0);
+  EXPECT_GE(s.find("stride_ticks")->as_number(), 1.0);
+  ASSERT_TRUE(s.find("tick")->is_array());
+  const std::size_t n = s.find("tick")->as_array().size();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(s.find("wall_s")->as_array().size(), n);
+  EXPECT_EQ(s.find("virt_s")->as_array().size(), n);
+  const JsonValue* gauges = s.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  // Every registered gauge has a track of the same length.
+  for (int g = 0; g < kGaugeCount; ++g) {
+    const JsonValue* track = gauges->find(gauge_name(static_cast<Gauge>(g)));
+    ASSERT_NE(track, nullptr) << gauge_name(static_cast<Gauge>(g));
+    EXPECT_EQ(track->as_array().size(), n);
+  }
+  EXPECT_DOUBLE_EQ(gauges->find("tree_cells")->as_array()[0].as_number(), 7.0);
+}
+
+TEST_F(TelemetryTest, ChromeTraceCarriesHealthCounterEvents) {
+  attach_rank(1);
+  gauge_set(Gauge::kHashEntries, 64.0);
+  sample_now();
+  const auto r = json_parse(chrome_trace_json());
+  ASSERT_TRUE(r.ok) << r.error;
+  bool saw_counter = false;
+  for (const auto& e : r.value.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() != "C") continue;
+    saw_counter = true;
+    EXPECT_EQ(e.find("name")->as_string(), "health");
+    EXPECT_DOUBLE_EQ(e.find("tid")->as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(e.find("args")->find("hash_entries")->as_number(), 64.0);
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(TelemetryTest, ParcPollProducesHealthSamples) {
+  // End-to-end: ABM traffic through am_poll must tick the sampler and leave
+  // queue-depth snapshots on the rank channels.
+  parc::Runtime::run(4, [&](parc::Rank& r) {
+    std::vector<std::uint64_t> got;
+    const int h = r.am_register(
+        [&got](parc::Rank&, int, std::span<const std::uint8_t> p) {
+          got.push_back(p.size());
+        });
+    const std::uint8_t payload[16] = {};
+    for (int round = 0; round < 64; ++round) {
+      r.am_post((r.rank() + 1) % r.size(), h, payload);
+      r.am_flush();
+      r.am_poll();
+    }
+    r.am_quiesce();
+    r.barrier();
+  });
+  std::size_t total_samples = 0;
+  for (const RankChannel* ch : Registry::instance().channels())
+    total_samples += ch->samples().size();
+  EXPECT_GT(total_samples, 0u);
+}
+
 // ---- strict JSON parser ----------------------------------------------------
 
 TEST(TelemetryJson, AcceptsValidDocuments) {
@@ -264,6 +411,95 @@ TEST(TelemetryJson, WriterRoundTrips) {
 TEST(TelemetryJson, NumbersNeverEmitNanOrInf) {
   EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
   EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(TelemetryJson, RejectsNanAndInfinityLiterals) {
+  for (const char* doc : {
+           "NaN", "nan", "-NaN",
+           "Infinity", "-Infinity", "inf", "-inf", "1e",
+           "{\"wall_seconds\": NaN}",
+           "[1, Infinity]",
+       }) {
+    const auto r = json_parse(doc);
+    EXPECT_FALSE(r.ok) << "accepted: " << doc;
+  }
+}
+
+TEST(TelemetryJson, RejectsDuplicateObjectKeys) {
+  // A duplicate key in a run report means the writer is broken; silently
+  // keeping either value would corrupt a baseline comparison.
+  const auto r = json_parse("{\"a\":1,\"a\":2}");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate"), std::string::npos) << r.error;
+  EXPECT_TRUE(json_parse("{\"a\":{\"b\":1},\"c\":{\"b\":1}}").ok)
+      << "same key in different objects is fine";
+}
+
+TEST(TelemetryJson, DeepNestingIsRejectedNotStackOverflowed) {
+  std::string deep;
+  for (int i = 0; i < 10000; ++i) deep += '[';
+  for (int i = 0; i < 10000; ++i) deep += ']';
+  const auto r = json_parse(deep);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("nesting"), std::string::npos) << r.error;
+  // A document at modest depth still parses.
+  std::string ok;
+  for (int i = 0; i < 64; ++i) ok += '[';
+  for (int i = 0; i < 64; ++i) ok += ']';
+  EXPECT_TRUE(json_parse(ok).ok);
+}
+
+TEST(TelemetryJson, FuzzStyleMalformedReportsNeverParse) {
+  // Corpus of corrupted run reports: truncations, swapped delimiters,
+  // duplicate sections — the shapes a crashed harness or a bad merge
+  // actually produces. The strict parser must reject every one with a
+  // non-empty error and without crashing.
+  const std::string good =
+      "{\"schema\":\"hotlib-run-report-v1\",\"name\":\"x\",\"nranks\":1,"
+      "\"counters\":{\"body_body\":12},\"metrics\":{\"m\":0.5}}";
+  ASSERT_TRUE(json_parse(good).ok);
+  std::vector<std::string> corpus;
+  // Every proper prefix of a valid report is invalid.
+  for (std::size_t cut = 0; cut < good.size(); cut += 7)
+    corpus.push_back(good.substr(0, cut));
+  // Single-byte mutations swapping structural characters.
+  for (const auto& [from, to] : std::vector<std::pair<char, char>>{
+           {'{', '['}, {'}', ']'}, {':', ','}, {',', ':'}, {'"', '\''}}) {
+    std::string mutated = good;
+    mutated[mutated.find(from)] = to;
+    corpus.push_back(mutated);
+  }
+  corpus.push_back(good + good);                      // two documents
+  corpus.push_back(good + "x");                       // trailing garbage
+  corpus.push_back("\xEF\xBB\xBF" + good);            // UTF-8 BOM
+  corpus.push_back(std::string(1, '\0') + good);      // NUL prefix
+  std::string dup = good;
+  dup.insert(1, "\"name\":\"y\",");                    // duplicate "name"
+  corpus.push_back(dup);
+  for (const std::string& doc : corpus) {
+    const auto r = json_parse(doc);
+    EXPECT_FALSE(r.ok) << "accepted: " << doc;
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(TelemetryJson, NumbersUseShortestRoundTrip) {
+  // Byte-stable reports: the fewest digits that re-parse to the identical
+  // double, so rewriting an unchanged baseline is a no-op diff.
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(0.25), "0.25");
+  EXPECT_EQ(json_number(1e300), "1e+300");
+  EXPECT_EQ(json_number(-2.5e-7), "-2.5e-07");
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(1.0 / 3.0), "0.3333333333333333");
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300, 0.30000000000000004,
+                         123456789.123456789, 2.2250738585072014e-308}) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    const auto parsed = json_parse(s);
+    ASSERT_TRUE(parsed.ok) << s;
+    EXPECT_EQ(parsed.value.as_number(), v) << s;
+  }
 }
 
 // ---- exporters -------------------------------------------------------------

@@ -1,0 +1,453 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/table.hpp"
+
+namespace hotlib::tools {
+
+namespace telemetry = hotlib::telemetry;
+
+namespace {
+
+// Counters whose values are fully determined by the problem instance: the
+// interaction tallies, record totals and hash statistics came out identical
+// across repeated runs of every harness, so the gate holds them to exact
+// equality — any drift is a real behaviour change.
+const std::set<std::string>& exact_counters() {
+  static const std::set<std::string> k = {
+      "body_body",      "body_cell",         "cells_opened",
+      "mac_tests",      "hash_hits",         "hash_misses",
+      "dtree_replies_served", "let_cells_imported", "let_bodies_imported",
+      "abm_records_posted",   "abm_records_dispatched",
+      "abm_abandoned_records", "abm_corrupt_batches",
+  };
+  return k;
+}
+
+// Host-speed metrics: wall-clock rates and latencies that vary with the
+// machine the gate runs on. Checked only to a within-a-factor band.
+bool is_rate_metric(const std::string& key) {
+  return key.ends_with("_per_s") || key.ends_with("_ns") || key.ends_with("_us") ||
+         key.ends_with("_per_sec");
+}
+
+std::string fmt(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", frac * 100.0);
+  return buf;
+}
+
+double num_or(const telemetry::JsonValue& obj, const char* key, double fallback = 0.0) {
+  const telemetry::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+bool load_column(const telemetry::JsonValue& obj, const char* key, std::vector<double>& out) {
+  const telemetry::JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_array()) return false;
+  out.reserve(v->as_array().size());
+  for (const telemetry::JsonValue& e : v->as_array()) {
+    if (!e.is_number()) return false;
+    out.push_back(e.as_number());
+  }
+  return true;
+}
+
+}  // namespace
+
+const Report::Phase* Report::phase(const std::string& n) const {
+  for (const Phase& p : phases)
+    if (p.name == n) return &p;
+  return nullptr;
+}
+
+double Report::counter(const std::string& n) const {
+  auto it = counters.find(n);
+  return it != counters.end() ? it->second : 0.0;
+}
+
+bool load_report(const std::string& path, Report& out, std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = path + ": cannot open";
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const telemetry::JsonParseResult parsed = telemetry::json_parse(buf.str());
+  if (!parsed.ok) {
+    err = path + ": " + parsed.error;
+    return false;
+  }
+  const telemetry::JsonValue& root = parsed.value;
+  if (!root.is_object()) {
+    err = path + ": top level is not an object";
+    return false;
+  }
+  const telemetry::JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "hotlib-run-report-v1") {
+    err = path + ": not a hotlib-run-report-v1 document";
+    return false;
+  }
+
+  out = Report{};
+  out.path = path;
+  if (const telemetry::JsonValue* v = root.find("name"); v != nullptr && v->is_string())
+    out.name = v->as_string();
+  out.nranks = static_cast<int>(num_or(root, "nranks"));
+  out.wall_seconds = num_or(root, "wall_seconds");
+  out.modelled_seconds = num_or(root, "modelled_seconds");
+  out.interactions = num_or(root, "interactions");
+  out.flops = num_or(root, "flops");
+  out.gflops_wall = num_or(root, "gflops_wall");
+
+  if (const telemetry::JsonValue* phases = root.find("phases");
+      phases != nullptr && phases->is_array()) {
+    for (const telemetry::JsonValue& p : phases->as_array()) {
+      if (!p.is_object()) continue;
+      Report::Phase ph;
+      if (const telemetry::JsonValue* n = p.find("name"); n != nullptr && n->is_string())
+        ph.name = n->as_string();
+      ph.wall_seconds = num_or(p, "wall_seconds");
+      ph.virt_seconds = num_or(p, "virt_seconds");
+      ph.max_rank_wall = num_or(p, "max_rank_wall");
+      ph.mean_rank_wall = num_or(p, "mean_rank_wall");
+      ph.imbalance = num_or(p, "imbalance", 1.0);
+      ph.calls = num_or(p, "calls");
+      out.phases.push_back(std::move(ph));
+    }
+  }
+
+  if (const telemetry::JsonValue* ts = root.find("timeseries");
+      ts != nullptr && ts->is_array()) {
+    for (const telemetry::JsonValue& s : ts->as_array()) {
+      if (!s.is_object()) continue;
+      Report::Series series;
+      series.rank = static_cast<int>(num_or(s, "rank"));
+      series.stride_ticks = num_or(s, "stride_ticks");
+      load_column(s, "tick", series.tick);
+      load_column(s, "wall_s", series.wall_s);
+      load_column(s, "virt_s", series.virt_s);
+      if (const telemetry::JsonValue* g = s.find("gauges"); g != nullptr && g->is_object()) {
+        for (const auto& [key, track] : g->as_object()) {
+          std::vector<double> col;
+          if (track.is_array()) {
+            for (const telemetry::JsonValue& e : track.as_array())
+              if (e.is_number()) col.push_back(e.as_number());
+          }
+          series.gauges.emplace(key, std::move(col));
+        }
+      }
+      out.timeseries.push_back(std::move(series));
+    }
+  }
+
+  if (const telemetry::JsonValue* c = root.find("counters"); c != nullptr && c->is_object())
+    for (const auto& [key, v] : c->as_object())
+      if (v.is_number()) out.counters[key] = v.as_number();
+  if (const telemetry::JsonValue* m = root.find("metrics"); m != nullptr && m->is_object())
+    for (const auto& [key, v] : m->as_object())
+      if (v.is_number()) out.metrics[key] = v.as_number();
+  return true;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::string render_report(const Report& r) {
+  std::string out;
+  out += "=== " + r.name + " (" + r.path + ") ===\n";
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "ranks %d   wall %.4g s   modelled %.4g s   interactions %s   "
+                "flops %s   Mflop/s(wall) %.4g\n\n",
+                r.nranks, r.wall_seconds, r.modelled_seconds,
+                fmt(r.interactions).c_str(), fmt(r.flops).c_str(),
+                r.wall_seconds > 0 ? r.flops / r.wall_seconds / 1e6 : 0.0);
+  out += line;
+
+  if (!r.phases.empty()) {
+    TextTable t({"phase", "calls", "wall s", "virt s", "max rank s", "mean rank s",
+                 "imbalance"});
+    for (const Report::Phase& p : r.phases)
+      t.add_row({p.name, fmt(p.calls), TextTable::num(p.wall_seconds, 4),
+                 TextTable::num(p.virt_seconds, 4), TextTable::num(p.max_rank_wall, 4),
+                 TextTable::num(p.mean_rank_wall, 4), TextTable::num(p.imbalance, 2)});
+    out += "Phases (totals across ranks; imbalance = max/mean rank wall):\n";
+    out += t.to_string() + "\n";
+  }
+
+  {
+    TextTable t({"counter", "value"});
+    for (const auto& [key, v] : r.counters)
+      if (v != 0.0) t.add_row({key, fmt(v)});
+    if (t.rows() > 0) {
+      out += "Counters (non-zero):\n" + t.to_string() + "\n";
+    }
+  }
+
+  if (!r.metrics.empty()) {
+    TextTable t({"metric", "value"});
+    for (const auto& [key, v] : r.metrics) t.add_row({key, fmt(v)});
+    out += "Metrics:\n" + t.to_string() + "\n";
+  }
+
+  if (!r.timeseries.empty()) {
+    std::size_t nsamples = 0;
+    std::map<std::string, std::vector<double>> merged;
+    for (const Report::Series& s : r.timeseries) {
+      nsamples += s.tick.size();
+      for (const auto& [key, col] : s.gauges) {
+        auto& dst = merged[key];
+        dst.insert(dst.end(), col.begin(), col.end());
+      }
+    }
+    std::snprintf(line, sizeof line, "Health timeseries: %zu series, %zu samples\n",
+                  r.timeseries.size(), nsamples);
+    out += line;
+    TextTable t({"gauge", "p50", "p95", "max"});
+    for (const auto& [key, col] : merged) {
+      if (std::all_of(col.begin(), col.end(), [](double v) { return v == 0.0; }))
+        continue;
+      t.add_row({key, fmt(percentile(col, 0.5)), fmt(percentile(col, 0.95)),
+                 fmt(*std::max_element(col.begin(), col.end()))});
+    }
+    if (t.rows() > 0) out += t.to_string() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void diff_row(TextTable& t, const std::string& key, double a, double b) {
+  const double delta = b - a;
+  if (a == 0.0 && b == 0.0) return;
+  const std::string rel = a != 0.0 ? fmt_pct(delta / std::fabs(a)) : "n/a";
+  t.add_row({key, fmt(a), fmt(b), fmt(delta), rel});
+}
+
+}  // namespace
+
+std::string render_diff(const Report& a, const Report& b) {
+  std::string out;
+  out += "=== diff: " + a.path + "  ->  " + b.path + " ===\n";
+  if (a.name != b.name)
+    out += "WARNING: comparing different harnesses (" + a.name + " vs " + b.name + ")\n";
+  out += "\n";
+
+  TextTable top({"quantity", a.name + " (A)", b.name + " (B)", "delta", "rel"});
+  diff_row(top, "nranks", a.nranks, b.nranks);
+  diff_row(top, "wall_seconds", a.wall_seconds, b.wall_seconds);
+  diff_row(top, "modelled_seconds", a.modelled_seconds, b.modelled_seconds);
+  diff_row(top, "interactions", a.interactions, b.interactions);
+  diff_row(top, "flops", a.flops, b.flops);
+  diff_row(top, "gflops_wall", a.gflops_wall, b.gflops_wall);
+  out += top.to_string() + "\n";
+
+  {
+    TextTable t({"phase", "wall A", "wall B", "virt A", "virt B", "imb A", "imb B"});
+    std::set<std::string> names;
+    for (const auto& p : a.phases) names.insert(p.name);
+    for (const auto& p : b.phases) names.insert(p.name);
+    for (const std::string& n : names) {
+      const Report::Phase* pa = a.phase(n);
+      const Report::Phase* pb = b.phase(n);
+      t.add_row({n, pa != nullptr ? TextTable::num(pa->wall_seconds, 4) : "-",
+                 pb != nullptr ? TextTable::num(pb->wall_seconds, 4) : "-",
+                 pa != nullptr ? TextTable::num(pa->virt_seconds, 4) : "-",
+                 pb != nullptr ? TextTable::num(pb->virt_seconds, 4) : "-",
+                 pa != nullptr ? TextTable::num(pa->imbalance, 2) : "-",
+                 pb != nullptr ? TextTable::num(pb->imbalance, 2) : "-"});
+    }
+    if (t.rows() > 0) out += "Phases:\n" + t.to_string() + "\n";
+  }
+
+  {
+    TextTable t({"counter", "A", "B", "delta", "rel"});
+    std::set<std::string> keys;
+    for (const auto& [k, v] : a.counters) keys.insert(k);
+    for (const auto& [k, v] : b.counters) keys.insert(k);
+    for (const std::string& k : keys) diff_row(t, k, a.counter(k), b.counter(k));
+    if (t.rows() > 0) out += "Counters:\n" + t.to_string() + "\n";
+  }
+
+  {
+    TextTable t({"metric", "A", "B", "delta", "rel"});
+    std::set<std::string> keys;
+    for (const auto& [k, v] : a.metrics) keys.insert(k);
+    for (const auto& [k, v] : b.metrics) keys.insert(k);
+    for (const std::string& k : keys) {
+      const auto ia = a.metrics.find(k);
+      const auto ib = b.metrics.find(k);
+      diff_row(t, k, ia != a.metrics.end() ? ia->second : 0.0,
+               ib != b.metrics.end() ? ib->second : 0.0);
+    }
+    if (t.rows() > 0) out += "Metrics:\n" + t.to_string() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const CheckPolicy& policy, CheckResult& result)
+      : policy_(policy), result_(result) {}
+
+  double tolerance_for(const std::string& key, double fallback) const {
+    auto it = policy_.overrides.find(key);
+    return it != policy_.overrides.end() ? it->second : fallback;
+  }
+
+  void exact(const std::string& key, double got, double want) {
+    const double rel = tolerance_for(key, 0.0);
+    if (rel > 0.0) {  // a --tol override downgrades an exact check to a band
+      banded(key, got, want, rel, 0.0);
+      return;
+    }
+    ++result_.checked;
+    if (got != want)
+      fail(key + ": got " + fmt(got) + ", baseline " + fmt(want) + " (exact match required)");
+  }
+
+  void banded(const std::string& key, double got, double want, double rel, double abs) {
+    ++result_.checked;
+    rel = tolerance_for(key, rel);
+    const double slack = std::max(rel * std::fabs(want), abs);
+    if (std::fabs(got - want) > slack)
+      fail(key + ": got " + fmt(got) + ", baseline " + fmt(want) + " (allowed ±" +
+           fmt(slack) + ")");
+  }
+
+  // Wall-clock: only regressions fail, a faster machine never does.
+  void upper(const std::string& key, double got, double want) {
+    ++result_.checked;
+    const double factor = tolerance_for(key, policy_.wall_factor);
+    const double bound = factor * want + policy_.wall_abs;
+    if (got > bound)
+      fail(key + ": got " + fmt(got) + " s, baseline " + fmt(want) + " s (bound " +
+           fmt(bound) + " s)");
+  }
+
+  void factor_band(const std::string& key, double got, double want) {
+    ++result_.checked;
+    const double factor = tolerance_for(key, policy_.rate_factor);
+    if (!std::isfinite(got)) {
+      fail(key + ": got non-finite value");
+      return;
+    }
+    if (want == 0.0) return;  // nothing meaningful to band against
+    const double ratio = got / want;
+    if (ratio > factor || ratio < 1.0 / factor)
+      fail(key + ": got " + fmt(got) + ", baseline " + fmt(want) + " (allowed within " +
+           fmt(factor) + "x)");
+  }
+
+  void fail(const std::string& msg) { result_.violations.push_back(msg); }
+
+ private:
+  const CheckPolicy& policy_;
+  CheckResult& result_;
+};
+
+}  // namespace
+
+CheckResult check_report(const Report& r, const Report& base, const CheckPolicy& policy) {
+  CheckResult result;
+  Checker c(policy, result);
+
+  if (r.name != base.name)
+    c.fail("name: report is \"" + r.name + "\" but baseline is \"" + base.name + "\"");
+  c.exact("nranks", r.nranks, base.nranks);
+  c.exact("interactions", r.interactions, base.interactions);
+  c.exact("flops", r.flops, base.flops);
+  c.upper("wall_seconds", r.wall_seconds, base.wall_seconds);
+  c.banded("modelled_seconds", r.modelled_seconds, base.modelled_seconds, policy.virt_rel,
+           policy.virt_abs);
+
+  // Phase structure must match: same phases, same call counts. Times follow
+  // the wall/virt rules above.
+  for (const Report::Phase& bp : base.phases) {
+    const Report::Phase* rp = r.phase(bp.name);
+    if (rp == nullptr) {
+      c.fail("phases." + bp.name + ": present in baseline, missing from report");
+      continue;
+    }
+    c.exact("phases." + bp.name + ".calls", rp->calls, bp.calls);
+    c.upper("phases." + bp.name + ".wall_seconds", rp->wall_seconds, bp.wall_seconds);
+    c.upper("phases." + bp.name + ".max_rank_wall", rp->max_rank_wall, bp.max_rank_wall);
+    c.banded("phases." + bp.name + ".virt_seconds", rp->virt_seconds, bp.virt_seconds,
+             policy.virt_rel, policy.virt_abs);
+  }
+  for (const Report::Phase& rp : r.phases)
+    if (base.phase(rp.name) == nullptr)
+      c.fail("phases." + rp.name + ": new phase not in baseline (refresh baselines)");
+
+  // Counters: deterministic ones exact, traffic ones banded. A counter
+  // appearing or disappearing means the enum and the baseline diverged.
+  for (const auto& [key, bv] : base.counters) {
+    auto it = r.counters.find(key);
+    if (it == r.counters.end()) {
+      c.fail("counters." + key + ": present in baseline, missing from report");
+      continue;
+    }
+    if (exact_counters().count(key) > 0)
+      c.exact("counters." + key, it->second, bv);
+    else
+      c.banded("counters." + key, it->second, bv, policy.traffic_rel, policy.traffic_abs);
+  }
+  for (const auto& [key, rv] : r.counters)
+    if (base.counters.find(key) == base.counters.end())
+      c.fail("counters." + key + ": new counter not in baseline (refresh baselines)");
+
+  for (const auto& [key, bv] : base.metrics) {
+    auto it = r.metrics.find(key);
+    if (it == r.metrics.end()) {
+      c.fail("metrics." + key + ": present in baseline, missing from report");
+      continue;
+    }
+    if (is_rate_metric(key))
+      c.factor_band("metrics." + key, it->second, bv);
+    else
+      c.banded("metrics." + key, it->second, bv, policy.metric_rel, policy.metric_abs);
+  }
+  for (const auto& [key, rv] : r.metrics)
+    if (base.metrics.find(key) == base.metrics.end())
+      c.fail("metrics." + key + ": new metric not in baseline (refresh baselines)");
+
+  // The sampler must have produced a timeseries; its values are workload
+  // shape, not budget, so only presence is gated.
+  ++result.checked;
+  if (base.nranks > 0 && r.timeseries.empty())
+    c.fail("timeseries: baseline run produced health samples, report has none");
+
+  return result;
+}
+
+}  // namespace hotlib::tools

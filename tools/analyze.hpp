@@ -1,0 +1,103 @@
+// analyze.hpp — perf-analysis library behind the hotlib-analyze CLI.
+//
+// Loads hotlib-run-report-v1 JSON files (the BENCH_<name>.json every bench
+// harness writes) into a flat Report, and implements the three CLI verbs:
+//
+//   render_report  paper-style tables: per-phase wall/virtual time with
+//                  max/mean imbalance, Mflop/s, message/byte totals, and
+//                  queue-depth / hash-occupancy percentiles from the
+//                  health-sampler timeseries.
+//   render_diff    side-by-side comparison of two reports with absolute and
+//                  relative deltas.
+//   check_report   compare a report against a committed baseline under a
+//                  per-metric tolerance policy; the perf-gate ctest slice is
+//                  built on this.
+//
+// Lives in tools/ (not src/) because it is a consumer of the library's
+// public report format, exactly like an external analysis script would be —
+// but it links the same strict JSON parser so reports and baselines are
+// validated, never fuzzily re-parsed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hotlib::tools {
+
+// Flattened view of one hotlib-run-report-v1 document.
+struct Report {
+  std::string path;  // where it was loaded from (for messages)
+  std::string name;
+  int nranks = 0;
+  double wall_seconds = 0;
+  double modelled_seconds = 0;
+  double interactions = 0;
+  double flops = 0;
+  double gflops_wall = 0;
+
+  struct Phase {
+    std::string name;
+    double wall_seconds = 0;
+    double virt_seconds = 0;
+    double max_rank_wall = 0;
+    double mean_rank_wall = 0;
+    double imbalance = 1.0;
+    double calls = 0;
+  };
+  std::vector<Phase> phases;
+
+  struct Series {
+    int rank = 0;
+    double stride_ticks = 0;
+    std::vector<double> tick, wall_s, virt_s;
+    std::map<std::string, std::vector<double>> gauges;
+  };
+  std::vector<Series> timeseries;
+
+  std::map<std::string, double> counters;
+  std::map<std::string, double> metrics;
+
+  const Phase* phase(const std::string& name) const;
+  double counter(const std::string& name) const;  // 0 when absent
+};
+
+// Strict-parse `path`; on failure returns false and fills `err`.
+bool load_report(const std::string& path, Report& out, std::string& err);
+
+std::string render_report(const Report& r);
+std::string render_diff(const Report& a, const Report& b);
+
+// Tolerance policy for check_report. Counters are classified by name:
+// deterministic ones (interaction tallies, record counts, hash statistics)
+// must match the baseline exactly; traffic counters (message/byte/ack/
+// retransmit totals) depend on thread scheduling and get a banded check;
+// wall-clock times are upper-bounded only, so a faster machine never fails
+// a committed baseline but a real slowdown does.
+struct CheckPolicy {
+  double traffic_rel = 0.35;  // |new-base| <= max(rel*base, abs) for traffic counters
+  double traffic_abs = 64.0;
+  double wall_factor = 50.0;  // new_wall <= factor*base_wall + abs (upper bound only)
+  double wall_abs = 1.0;      // seconds; absorbs scheduler noise on ms-scale runs
+  double virt_rel = 0.35;     // band for modelled / virtual (LogP) times
+  double virt_abs = 1e-6;     // seconds
+  double metric_rel = 0.5;    // band for scalar metrics...
+  double metric_abs = 0.25;   // ...with absolute slack for near-zero values
+  double rate_factor = 100.0; // host-speed metrics (_per_s/_ns/_us) band factor
+  // Per-metric overrides: full key ("metrics.keys_per_s", "counters.bytes_sent")
+  // -> relative tolerance. Parsed from --tol=key=rel CLI flags.
+  std::map<std::string, double> overrides;
+};
+
+struct CheckResult {
+  int checked = 0;  // number of individual comparisons made
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+CheckResult check_report(const Report& r, const Report& base, const CheckPolicy& policy);
+
+// Percentile over an unsorted sample set (nearest-rank, q in [0,1]).
+double percentile(std::vector<double> values, double q);
+
+}  // namespace hotlib::tools

@@ -1,0 +1,41 @@
+#!/bin/sh
+# update_baselines.sh — regenerate the committed perf-gate baselines.
+#
+#   tools/update_baselines.sh [build-dir] [baselines-dir]
+#
+# Runs every bench harness at tiny sizes (HOTLIB_BENCH_TINY=1) and copies the
+# BENCH_<name>.json reports into bench/baselines/. Run this after an
+# *intentional* behaviour change (new counter, different traversal, changed
+# problem sizes), review the diff with
+#   build/tools/hotlib-analyze diff bench/baselines/BENCH_x.json new/BENCH_x.json
+# and commit the result. The perf-gate ctest slice holds every future run to
+# these files.
+set -eu
+
+build=${1:-build}
+dest=${2:-$(dirname "$0")/../bench/baselines}
+
+if [ ! -d "$build/bench" ]; then
+  echo "update_baselines: $build/bench not found (configure + build first)" >&2
+  exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+names="nsquared treecode loki vortex sc96 npb accuracy comm price kernels abm faults keys scaling"
+for name in $names; do
+  exe="$build/bench/bench_$name"
+  if [ ! -x "$exe" ]; then
+    echo "update_baselines: missing $exe" >&2
+    exit 2
+  fi
+  echo "update_baselines: running bench_$name (tiny)"
+  HOTLIB_BENCH_TINY=1 HOTLIB_REPORT_DIR="$tmp" "$exe" > /dev/null
+done
+
+mkdir -p "$dest"
+for name in $names; do
+  cp "$tmp/BENCH_$name.json" "$dest/BENCH_$name.json"
+done
+echo "update_baselines: wrote $(echo "$names" | wc -w) baselines to $dest"
