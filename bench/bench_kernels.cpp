@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
+#include "gravity/batch.hpp"
 #include "gravity/evaluator.hpp"
 #include "gravity/kernels.hpp"
 #include "gravity/models.hpp"
@@ -95,6 +98,109 @@ void BM_PCInteraction(benchmark::State& state) {
 }
 BENCHMARK(BM_PCInteraction)->Arg(0)->Arg(1)->ArgName("quad");
 
+// Whole-list evaluation, one sink against n sources: mode 0 is the per-pair
+// kernel called source by source (the pre-batch shape), mode 1 the batched
+// scalar kernel, mode 2 the batched AVX2 kernel. All three perform the same
+// tallied work (n interactions, 38 flops each); the flops/s column is the
+// scalar-vs-batched-vs-SIMD comparison.
+void BM_BatchPP(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  if (mode == 2 && !gravity::batch_avx2_available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  Xoshiro256ss rng(2);
+  const Vec3d xi = rng.in_cube() + Vec3d{2, 2, 2};
+  gravity::InteractionBatch batch;
+  std::vector<Vec3d> pos(n);
+  std::vector<double> mass(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    pos[j] = rng.in_cube();
+    mass[j] = 0.001;
+    batch.add_body(pos[j], mass[j]);
+  }
+  const double eps2 = 1e-4;
+  const gravity::BatchPath prev = gravity::batch_path();
+  if (mode == 1) gravity::force_batch_path(gravity::BatchPath::kScalar);
+  if (mode == 2) gravity::force_batch_path(gravity::BatchPath::kAvx2);
+  for (auto _ : state) {
+    Vec3d acc{};
+    double pot = 0;
+    if (mode == 0) {
+      for (std::size_t j = 0; j < n; ++j)
+        gravity::pp_accumulate(xi, pos[j], mass[j], eps2, acc, pot);
+    } else {
+      gravity::batch_pp(batch, xi, eps2, gravity::kNoSelf, acc, pot);
+    }
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(pot);
+  }
+  gravity::force_batch_path(prev);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.counters["interactions"] = static_cast<double>(n);
+  state.counters["flops/s"] = benchmark::Counter(
+      38.0 * static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchPP)
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({2, 1024})
+    ->Args({0, 16384})
+    ->Args({1, 16384})
+    ->Args({2, 16384})
+    ->ArgNames({"mode", "n"});
+
+void BM_BatchPC(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const bool quad = state.range(1) != 0;
+  const std::size_t n = 1024;
+  if (mode == 2 && !gravity::batch_avx2_available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  Xoshiro256ss rng(3);
+  const Vec3d xi = rng.in_cube() + Vec3d{2, 2, 2};
+  gravity::InteractionBatch batch;
+  batch.use_quad = quad;
+  std::vector<Vec3d> com(n);
+  std::vector<double> mass(n);
+  std::vector<std::array<double, 6>> quads(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    com[j] = rng.in_cube();
+    mass[j] = 1.0;
+    quads[j] = {0.1, 0.02, -0.01, -0.05, 0.03, -0.05};
+    batch.add_cell(com[j], mass[j], quads[j]);
+  }
+  const double eps2 = 1e-4;
+  const gravity::BatchPath prev = gravity::batch_path();
+  if (mode == 1) gravity::force_batch_path(gravity::BatchPath::kScalar);
+  if (mode == 2) gravity::force_batch_path(gravity::BatchPath::kAvx2);
+  for (auto _ : state) {
+    Vec3d acc{};
+    double pot = 0;
+    if (mode == 0) {
+      for (std::size_t j = 0; j < n; ++j)
+        gravity::pc_accumulate(xi, com[j], mass[j], quads[j], quad, eps2, acc, pot);
+    } else {
+      gravity::batch_pc(batch, xi, eps2, acc, pot);
+    }
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(pot);
+  }
+  gravity::force_batch_path(prev);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchPC)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->ArgNames({"mode", "quad"});
+
 void BM_MortonKey(benchmark::State& state) {
   Xoshiro256ss rng(4);
   std::vector<Vec3d> pts(4096);
@@ -173,6 +279,14 @@ BENCHMARK(BM_TreeForces)
 // BENCH_kernels.json) and HOTLIB_BENCH_TINY can restrict the suite to two
 // fast kernels for the bench-smoke slice.
 int main(int argc, char** argv) {
+  // --print-kernel-path: report the dispatch decision (after HOTLIB_SIMD and
+  // CPUID) and exit; update_baselines.sh stamps this into the baselines.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-kernel-path") == 0) {
+      std::puts(gravity::batch_path_name());
+      return 0;
+    }
+  }
   telemetry::Session session("kernels");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

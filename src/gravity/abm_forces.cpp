@@ -1,6 +1,8 @@
 #include "gravity/abm_forces.hpp"
 
-#include "gravity/kernels.hpp"
+#include <algorithm>
+
+#include "gravity/batch.hpp"
 #include "hot/tree.hpp"
 #include "telemetry/trace.hpp"
 
@@ -21,27 +23,53 @@ AbmForceResult abm_tree_forces(parc::Rank& rank, hot::Bodies& local,
   const double eps2 = cfg.softening * cfg.softening;
   const auto& cells = tree.cells();
 
+  // Gather buffers reused across sink groups. Local and remote sources stay
+  // in separate batches to preserve the evaluation order of the per-pair
+  // code (local bodies, local cells, remote bodies, remote cells), which
+  // keeps results bit-identical on the scalar path.
+  InteractionBatch batch_local;
+  InteractionBatch batch_remote;
+
   result.traversal = dtree.traverse(
       cfg.mac,
       [&](std::uint32_t leaf_index, const hot::InteractionLists& lists,
           const hot::DistributedTree::RemoteLists& remote) {
+        batch_local.clear();
+        batch_local.use_quad = cfg.mac.quadrupole;
+        batch_local.reserve_bodies(lists.bodies.size());
+        for (std::uint32_t j : lists.bodies)
+          batch_local.add_body(local.pos[j], local.mass[j]);
+        for (std::uint32_t ci : lists.cells)
+          batch_local.add_cell(cells[ci].com, cells[ci].mass, cells[ci].quad);
+        batch_remote.clear();
+        batch_remote.use_quad = cfg.mac.quadrupole;
+        batch_remote.reserve_bodies(remote.bodies.size());
+        for (const hot::SourceRecord& s : remote.bodies)
+          batch_remote.add_body(s.pos, s.mass);
+        for (const hot::CellRecord& c : remote.cells)
+          batch_remote.add_cell(c.com, c.mass, c.quad);
+
         const hot::Cell& group = cells[leaf_index];
         for (std::uint32_t t = group.body_begin;
              t < group.body_begin + group.body_count; ++t) {
           const std::uint32_t i = tree.order()[t];
           Vec3d a{};
           double p = 0;
-          for (std::uint32_t j : lists.bodies) {
-            if (j == i) continue;
-            pp_accumulate(local.pos[i], local.pos[j], local.mass[j], eps2, a, p);
+          // The distributed walk usually pushes the group's own bodies
+          // contiguously at self_begin, but the below-local-leaf interval
+          // path can deliver them elsewhere — validate and fall back to a
+          // scan when the O(1) slot guess misses.
+          std::size_t self = lists.self_begin + (t - group.body_begin);
+          if (self >= lists.bodies.size() || lists.bodies[self] != i) {
+            const auto it = std::find(lists.bodies.begin(), lists.bodies.end(), i);
+            self = it == lists.bodies.end()
+                       ? kNoSelf
+                       : static_cast<std::size_t>(it - lists.bodies.begin());
           }
-          for (std::uint32_t ci : lists.cells)
-            pc_accumulate(local.pos[i], cells[ci], cfg.mac.quadrupole, eps2, a, p);
-          for (const hot::SourceRecord& s : remote.bodies)
-            pp_accumulate(local.pos[i], s.pos, s.mass, eps2, a, p);
-          for (const hot::CellRecord& c : remote.cells)
-            pc_accumulate(local.pos[i], c.com, c.mass, c.quad, cfg.mac.quadrupole,
-                          eps2, a, p);
+          batch_pp(batch_local, local.pos[i], eps2, self, a, p);
+          batch_pc(batch_local, local.pos[i], eps2, a, p);
+          batch_pp(batch_remote, local.pos[i], eps2, kNoSelf, a, p);
+          batch_pc(batch_remote, local.pos[i], eps2, a, p);
           local.acc[i] += cfg.G * a;
           local.pot[i] += cfg.G * p;
           const std::uint64_t pp = lists.bodies.size() - 1 + remote.bodies.size();

@@ -1,0 +1,137 @@
+// batch.cpp — portable scalar batch kernels and the runtime SIMD dispatch.
+//
+// The scalar kernels call the per-pair kernels from kernels.hpp source by
+// source, in list order, so they are bit-identical to the pre-batch code
+// paths by construction. The AVX2 kernels live in batch_avx2.cpp (compiled
+// with -mavx2 only on x86-64); dispatch picks a path once, at first use.
+#include "gravity/batch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hotlib::gravity {
+
+#if defined(HOTLIB_HAVE_AVX2)
+namespace detail {
+// Implemented in batch_avx2.cpp.
+bool cpu_has_avx2();
+void pp_avx2(const InteractionBatch& b, const Vec3d& xi, double eps2,
+             std::size_t self_slot, Vec3d& acc, double& pot);
+void pc_avx2(const InteractionBatch& b, const Vec3d& xi, double eps2, Vec3d& acc,
+             double& pot);
+void bs_avx2(const BiotSavartBatch& b, const Vec3d& xi, const Vec3d& alpha_i,
+             double sigma2, Vec3d& u, Vec3d& dalpha);
+}  // namespace detail
+#endif
+
+namespace {
+
+void pp_scalar(const InteractionBatch& b, const Vec3d& xi, double eps2,
+               std::size_t self_slot, Vec3d& acc, double& pot) {
+  const std::size_t n = b.body_count();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == self_slot) continue;
+    pp_accumulate(xi, Vec3d{b.px[j], b.py[j], b.pz[j]}, b.pm[j], eps2, acc, pot);
+  }
+}
+
+void pc_scalar(const InteractionBatch& b, const Vec3d& xi, double eps2, Vec3d& acc,
+               double& pot) {
+  const std::size_t n = b.cell_count();
+  std::array<double, 6> quad{};
+  for (std::size_t j = 0; j < n; ++j) {
+    if (b.use_quad)
+      for (std::size_t k = 0; k < 6; ++k) quad[k] = b.cq[k][j];
+    pc_accumulate(xi, Vec3d{b.cx[j], b.cy[j], b.cz[j]}, b.cm[j], quad, b.use_quad,
+                  eps2, acc, pot);
+  }
+}
+
+void bs_scalar(const BiotSavartBatch& b, const Vec3d& xi, const Vec3d& alpha_i,
+               double sigma2, Vec3d& u, Vec3d& dalpha) {
+  const std::size_t n = b.size();
+  for (std::size_t j = 0; j < n; ++j)
+    biot_savart_accumulate(xi, Vec3d{b.x[j], b.y[j], b.z[j]},
+                           Vec3d{b.ax[j], b.ay[j], b.az[j]}, sigma2, u, &alpha_i,
+                           &dalpha);
+}
+
+struct Dispatch {
+  BatchPath path = BatchPath::kScalar;
+  void (*pp)(const InteractionBatch&, const Vec3d&, double, std::size_t, Vec3d&,
+             double&) = pp_scalar;
+  void (*pc)(const InteractionBatch&, const Vec3d&, double, Vec3d&, double&) =
+      pc_scalar;
+  void (*bs)(const BiotSavartBatch&, const Vec3d&, const Vec3d&, double, Vec3d&,
+             Vec3d&) = bs_scalar;
+};
+
+Dispatch make_dispatch(BatchPath wanted) {
+  Dispatch d;  // scalar defaults
+#if defined(HOTLIB_HAVE_AVX2)
+  if (wanted == BatchPath::kAvx2 && detail::cpu_has_avx2()) {
+    d.path = BatchPath::kAvx2;
+    d.pp = detail::pp_avx2;
+    d.pc = detail::pc_avx2;
+    d.bs = detail::bs_avx2;
+  }
+#else
+  (void)wanted;
+#endif
+  return d;
+}
+
+bool env_matches(const char* v, const char* a, const char* b, const char* c) {
+  return std::strcmp(v, a) == 0 || std::strcmp(v, b) == 0 || std::strcmp(v, c) == 0;
+}
+
+// Environment + CPUID policy: AVX2 when available, unless HOTLIB_SIMD says
+// otherwise. Unrecognised values fall through to the default so a typo
+// degrades to auto-detection rather than silently changing numerics.
+BatchPath default_path() {
+  if (const char* e = std::getenv("HOTLIB_SIMD"); e != nullptr) {
+    if (env_matches(e, "off", "0", "scalar")) return BatchPath::kScalar;
+    if (env_matches(e, "avx2", "on", "1")) return BatchPath::kAvx2;
+  }
+  return batch_avx2_available() ? BatchPath::kAvx2 : BatchPath::kScalar;
+}
+
+Dispatch& active() {
+  static Dispatch d = make_dispatch(default_path());
+  return d;
+}
+
+}  // namespace
+
+BatchPath batch_path() { return active().path; }
+
+const char* batch_path_name() {
+  return batch_path() == BatchPath::kAvx2 ? "avx2" : "scalar";
+}
+
+bool batch_avx2_available() {
+#if defined(HOTLIB_HAVE_AVX2)
+  return detail::cpu_has_avx2();
+#else
+  return false;
+#endif
+}
+
+void force_batch_path(BatchPath p) { active() = make_dispatch(p); }
+
+void batch_pp(const InteractionBatch& b, const Vec3d& xi, double eps2,
+              std::size_t self_slot, Vec3d& acc, double& pot) {
+  active().pp(b, xi, eps2, self_slot, acc, pot);
+}
+
+void batch_pc(const InteractionBatch& b, const Vec3d& xi, double eps2, Vec3d& acc,
+              double& pot) {
+  active().pc(b, xi, eps2, acc, pot);
+}
+
+void batch_biot_savart(const BiotSavartBatch& b, const Vec3d& xi,
+                       const Vec3d& alpha_i, double sigma2, Vec3d& u, Vec3d& dalpha) {
+  active().bs(b, xi, alpha_i, sigma2, u, dalpha);
+}
+
+}  // namespace hotlib::gravity

@@ -1,0 +1,269 @@
+// batch_avx2.cpp — AVX2 batch kernels, four double-precision sources per
+// instruction.
+//
+// This TU is compiled with -mavx2 -ffp-contract=off and nothing else in the
+// build links against its intrinsics; batch.cpp reaches it through the
+// dispatch table only after cpu_has_avx2() confirms the instruction set.
+//
+// Contraction is off and the kernels use only mul/add/sub intrinsics so each
+// lane performs exactly the scalar kernel's operation sequence; the only
+// difference from the scalar path is accumulation order (four partial sums,
+// a horizontal reduction, then the remainder tail), which is what bounds the
+// cross-path disagreement to a couple of ulps of the accumulated magnitude.
+#include "gravity/batch.hpp"
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace hotlib::gravity::detail {
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+namespace {
+
+// Karp seed + 4 Newton steps, per lane identical to karp_rsqrt's fast path.
+// Lanes outside the positive normal range (zeros, denormals, inf, NaN —
+// possible for coincident unsoftened particles) are recomputed through the
+// scalar karp_rsqrt, which owns the IEEE edge-case handling.
+inline __m256d rsqrt4(__m256d r2) {
+  const __m256i bits = _mm256_castpd_si256(r2);
+  __m256d y = _mm256_castsi256_pd(_mm256_sub_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(0x5FE6EB50C7B537A9ULL)),
+      _mm256_srli_epi64(bits, 1)));
+  const __m256d xh = _mm256_mul_pd(_mm256_set1_pd(0.5), r2);
+  const __m256d c15 = _mm256_set1_pd(1.5);
+  for (int it = 0; it < 4; ++it)
+    y = _mm256_mul_pd(
+        y, _mm256_sub_pd(c15, _mm256_mul_pd(_mm256_mul_pd(xh, y), y)));
+  const __m256d ok = _mm256_and_pd(
+      _mm256_cmp_pd(r2, _mm256_set1_pd(std::numeric_limits<double>::min()),
+                    _CMP_GE_OQ),
+      _mm256_cmp_pd(r2, _mm256_set1_pd(std::numeric_limits<double>::max()),
+                    _CMP_LE_OQ));
+  const int mask = _mm256_movemask_pd(ok);
+  if (mask != 0xF) [[unlikely]] {
+    alignas(32) double rv[4];
+    alignas(32) double yv[4];
+    _mm256_store_pd(rv, r2);
+    _mm256_store_pd(yv, y);
+    for (int lane = 0; lane < 4; ++lane)
+      if (((mask >> lane) & 1) == 0) yv[lane] = karp_rsqrt(rv[lane]);
+    y = _mm256_load_pd(yv);
+  }
+  return y;
+}
+
+// ((v0 + v1) + (v2 + v3)) — one fixed reduction order for all kernels.
+inline double hsum(__m256d v) {
+  alignas(32) double t[4];
+  _mm256_store_pd(t, v);
+  return (t[0] + t[1]) + (t[2] + t[3]);
+}
+
+}  // namespace
+
+void pp_avx2(const InteractionBatch& b, const Vec3d& xi, double eps2,
+             std::size_t self_slot, Vec3d& acc, double& pot) {
+  const std::size_t n = b.body_count();
+  const __m256d xix = _mm256_set1_pd(xi.x);
+  const __m256d xiy = _mm256_set1_pd(xi.y);
+  const __m256d xiz = _mm256_set1_pd(xi.z);
+  const __m256d e2 = _mm256_set1_pd(eps2);
+  __m256d ax = _mm256_setzero_pd();
+  __m256d ay = _mm256_setzero_pd();
+  __m256d az = _mm256_setzero_pd();
+  __m256d pv = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(b.px.data() + j), xix);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(b.py.data() + j), xiy);
+    const __m256d dz = _mm256_sub_pd(_mm256_loadu_pd(b.pz.data() + j), xiz);
+    const __m256d m = _mm256_loadu_pd(b.pm.data() + j);
+    const __m256d r2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                      _mm256_mul_pd(dz, dz)),
+        e2);
+    __m256d rinv = rsqrt4(r2);
+    if (self_slot >= j && self_slot < j + 4) [[unlikely]] {
+      // Zero the self lane's rinv via a bit mask (a multiply would turn the
+      // eps2 == 0 lane's inf into NaN); both its contributions then vanish.
+      alignas(32) std::uint64_t mv[4] = {~0ULL, ~0ULL, ~0ULL, ~0ULL};
+      mv[self_slot - j] = 0;
+      rinv = _mm256_and_pd(rinv,
+                           _mm256_load_pd(reinterpret_cast<const double*>(mv)));
+    }
+    const __m256d rinv3 = _mm256_mul_pd(_mm256_mul_pd(rinv, rinv), rinv);
+    const __m256d t = _mm256_mul_pd(m, rinv3);
+    ax = _mm256_add_pd(ax, _mm256_mul_pd(dx, t));
+    ay = _mm256_add_pd(ay, _mm256_mul_pd(dy, t));
+    az = _mm256_add_pd(az, _mm256_mul_pd(dz, t));
+    pv = _mm256_sub_pd(pv, _mm256_mul_pd(m, rinv));
+  }
+  acc.x += hsum(ax);
+  acc.y += hsum(ay);
+  acc.z += hsum(az);
+  pot += hsum(pv);
+  for (; j < n; ++j) {
+    if (j == self_slot) continue;
+    pp_accumulate(xi, Vec3d{b.px[j], b.py[j], b.pz[j]}, b.pm[j], eps2, acc, pot);
+  }
+}
+
+void pc_avx2(const InteractionBatch& b, const Vec3d& xi, double eps2, Vec3d& acc,
+             double& pot) {
+  const std::size_t n = b.cell_count();
+  const __m256d xix = _mm256_set1_pd(xi.x);
+  const __m256d xiy = _mm256_set1_pd(xi.y);
+  const __m256d xiz = _mm256_set1_pd(xi.z);
+  const __m256d e2 = _mm256_set1_pd(eps2);
+  const __m256d c25 = _mm256_set1_pd(2.5);
+  const __m256d c05 = _mm256_set1_pd(0.5);
+  __m256d ax = _mm256_setzero_pd();
+  __m256d ay = _mm256_setzero_pd();
+  __m256d az = _mm256_setzero_pd();
+  __m256d pv = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(b.cx.data() + j), xix);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(b.cy.data() + j), xiy);
+    const __m256d dz = _mm256_sub_pd(_mm256_loadu_pd(b.cz.data() + j), xiz);
+    const __m256d m = _mm256_loadu_pd(b.cm.data() + j);
+    const __m256d r2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                      _mm256_mul_pd(dz, dz)),
+        e2);
+    const __m256d rinv = rsqrt4(r2);
+    const __m256d rinv2 = _mm256_mul_pd(rinv, rinv);
+    const __m256d rinv3 = _mm256_mul_pd(rinv, rinv2);
+    const __m256d t = _mm256_mul_pd(m, rinv3);
+    ax = _mm256_add_pd(ax, _mm256_mul_pd(dx, t));
+    ay = _mm256_add_pd(ay, _mm256_mul_pd(dy, t));
+    az = _mm256_add_pd(az, _mm256_mul_pd(dz, t));
+    pv = _mm256_sub_pd(pv, _mm256_mul_pd(m, rinv));
+    if (!b.use_quad) continue;
+    const __m256d rinv5 = _mm256_mul_pd(rinv3, rinv2);
+    const __m256d rinv7 = _mm256_mul_pd(rinv5, rinv2);
+    const __m256d q0 = _mm256_loadu_pd(b.cq[0].data() + j);
+    const __m256d q1 = _mm256_loadu_pd(b.cq[1].data() + j);
+    const __m256d q2 = _mm256_loadu_pd(b.cq[2].data() + j);
+    const __m256d q3 = _mm256_loadu_pd(b.cq[3].data() + j);
+    const __m256d q4 = _mm256_loadu_pd(b.cq[4].data() + j);
+    const __m256d q5 = _mm256_loadu_pd(b.cq[5].data() + j);
+    const __m256d qdx = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(q0, dx), _mm256_mul_pd(q1, dy)),
+        _mm256_mul_pd(q2, dz));
+    const __m256d qdy = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(q1, dx), _mm256_mul_pd(q3, dy)),
+        _mm256_mul_pd(q4, dz));
+    const __m256d qdz = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(q2, dx), _mm256_mul_pd(q4, dy)),
+        _mm256_mul_pd(q5, dz));
+    const __m256d dqd = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, qdx), _mm256_mul_pd(dy, qdy)),
+        _mm256_mul_pd(dz, qdz));
+    const __m256d s = _mm256_mul_pd(_mm256_mul_pd(c25, dqd), rinv7);
+    ax = _mm256_add_pd(
+        ax, _mm256_sub_pd(_mm256_mul_pd(dx, s), _mm256_mul_pd(qdx, rinv5)));
+    ay = _mm256_add_pd(
+        ay, _mm256_sub_pd(_mm256_mul_pd(dy, s), _mm256_mul_pd(qdy, rinv5)));
+    az = _mm256_add_pd(
+        az, _mm256_sub_pd(_mm256_mul_pd(dz, s), _mm256_mul_pd(qdz, rinv5)));
+    pv = _mm256_sub_pd(pv,
+                       _mm256_mul_pd(_mm256_mul_pd(c05, dqd), rinv5));
+  }
+  acc.x += hsum(ax);
+  acc.y += hsum(ay);
+  acc.z += hsum(az);
+  pot += hsum(pv);
+  std::array<double, 6> quad{};
+  for (; j < n; ++j) {
+    if (b.use_quad)
+      for (std::size_t k = 0; k < 6; ++k) quad[k] = b.cq[k][j];
+    pc_accumulate(xi, Vec3d{b.cx[j], b.cy[j], b.cz[j]}, b.cm[j], quad, b.use_quad,
+                  eps2, acc, pot);
+  }
+}
+
+void bs_avx2(const BiotSavartBatch& b, const Vec3d& xi, const Vec3d& alpha_i,
+             double sigma2, Vec3d& u, Vec3d& dalpha) {
+  const std::size_t n = b.size();
+  const __m256d xix = _mm256_set1_pd(xi.x);
+  const __m256d xiy = _mm256_set1_pd(xi.y);
+  const __m256d xiz = _mm256_set1_pd(xi.z);
+  const __m256d aix = _mm256_set1_pd(alpha_i.x);
+  const __m256d aiy = _mm256_set1_pd(alpha_i.y);
+  const __m256d aiz = _mm256_set1_pd(alpha_i.z);
+  const __m256d s2 = _mm256_set1_pd(sigma2);
+  const __m256d nqip = _mm256_set1_pd(-kQuarterInvPi);
+  const __m256d c3 = _mm256_set1_pd(3.0);
+  __m256d ux = _mm256_setzero_pd();
+  __m256d uy = _mm256_setzero_pd();
+  __m256d uz = _mm256_setzero_pd();
+  __m256d wx = _mm256_setzero_pd();
+  __m256d wy = _mm256_setzero_pd();
+  __m256d wz = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d dx = _mm256_sub_pd(xix, _mm256_loadu_pd(b.x.data() + j));
+    const __m256d dy = _mm256_sub_pd(xiy, _mm256_loadu_pd(b.y.data() + j));
+    const __m256d dz = _mm256_sub_pd(xiz, _mm256_loadu_pd(b.z.data() + j));
+    const __m256d ajx = _mm256_loadu_pd(b.ax.data() + j);
+    const __m256d ajy = _mm256_loadu_pd(b.ay.data() + j);
+    const __m256d ajz = _mm256_loadu_pd(b.az.data() + j);
+    const __m256d r2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                      _mm256_mul_pd(dz, dz)),
+        s2);
+    const __m256d rinv = rsqrt4(r2);
+    const __m256d s = _mm256_mul_pd(_mm256_mul_pd(rinv, rinv), rinv);
+    const __m256d t = _mm256_mul_pd(_mm256_mul_pd(s, rinv), rinv);
+    // dxa = cross(d, alpha_j)
+    const __m256d dxax =
+        _mm256_sub_pd(_mm256_mul_pd(dy, ajz), _mm256_mul_pd(dz, ajy));
+    const __m256d dxay =
+        _mm256_sub_pd(_mm256_mul_pd(dz, ajx), _mm256_mul_pd(dx, ajz));
+    const __m256d dxaz =
+        _mm256_sub_pd(_mm256_mul_pd(dx, ajy), _mm256_mul_pd(dy, ajx));
+    const __m256d coef = _mm256_mul_pd(nqip, s);
+    ux = _mm256_add_pd(ux, _mm256_mul_pd(dxax, coef));
+    uy = _mm256_add_pd(uy, _mm256_mul_pd(dxay, coef));
+    uz = _mm256_add_pd(uz, _mm256_mul_pd(dxaz, coef));
+    // cross(alpha_i, alpha_j)
+    const __m256d cxx =
+        _mm256_sub_pd(_mm256_mul_pd(aiy, ajz), _mm256_mul_pd(aiz, ajy));
+    const __m256d cxy =
+        _mm256_sub_pd(_mm256_mul_pd(aiz, ajx), _mm256_mul_pd(aix, ajz));
+    const __m256d cxz =
+        _mm256_sub_pd(_mm256_mul_pd(aix, ajy), _mm256_mul_pd(aiy, ajx));
+    const __m256d dai = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, aix), _mm256_mul_pd(dy, aiy)),
+        _mm256_mul_pd(dz, aiz));
+    const __m256d w = _mm256_mul_pd(_mm256_mul_pd(c3, t), dai);
+    wx = _mm256_add_pd(
+        wx, _mm256_mul_pd(
+                _mm256_sub_pd(_mm256_mul_pd(cxx, s), _mm256_mul_pd(dxax, w)),
+                nqip));
+    wy = _mm256_add_pd(
+        wy, _mm256_mul_pd(
+                _mm256_sub_pd(_mm256_mul_pd(cxy, s), _mm256_mul_pd(dxay, w)),
+                nqip));
+    wz = _mm256_add_pd(
+        wz, _mm256_mul_pd(
+                _mm256_sub_pd(_mm256_mul_pd(cxz, s), _mm256_mul_pd(dxaz, w)),
+                nqip));
+  }
+  u.x += hsum(ux);
+  u.y += hsum(uy);
+  u.z += hsum(uz);
+  dalpha.x += hsum(wx);
+  dalpha.y += hsum(wy);
+  dalpha.z += hsum(wz);
+  for (; j < n; ++j)
+    biot_savart_accumulate(xi, Vec3d{b.x[j], b.y[j], b.z[j]},
+                           Vec3d{b.ax[j], b.ay[j], b.az[j]}, sigma2, u, &alpha_i,
+                           &dalpha);
+}
+
+}  // namespace hotlib::gravity::detail

@@ -1,9 +1,8 @@
 #include "gravity/direct.hpp"
 
 #include <cassert>
-#include <cstring>
 
-#include "gravity/kernels.hpp"
+#include "gravity/batch.hpp"
 #include "telemetry/trace.hpp"
 
 namespace hotlib::gravity {
@@ -16,13 +15,15 @@ InteractionTally direct_forces(std::span<const Vec3d> pos, std::span<const doubl
   const std::size_t n = pos.size();
   const double eps2 = eps * eps;
   InteractionTally tally;
+  // Gather all sources once; every sink sees the same batch and skips its
+  // own slot (slot == index because bodies are appended in order).
+  InteractionBatch batch;
+  batch.reserve_bodies(n);
+  for (std::size_t j = 0; j < n; ++j) batch.add_body(pos[j], mass[j]);
   for (std::size_t i = 0; i < n; ++i) {
     Vec3d a{};
     double p = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      pp_accumulate(pos[i], pos[j], mass[j], eps2, a, p);
-    }
+    batch_pp(batch, pos[i], eps2, i, a, p);
     acc[i] = G * a;
     pot[i] = G * p;
     tally.body_body += n - 1;
@@ -54,17 +55,19 @@ InteractionTally ring_direct_forces(parc::Rank& rank, std::span<const Vec3d> pos
   std::vector<Source> travel(n);
   for (std::size_t j = 0; j < n; ++j) travel[j] = {pos[j], mass[j]};
 
+  InteractionBatch batch;
   const int right = (rank.rank() + 1) % p;
   const int left = (rank.rank() - 1 + p) % p;
   for (int s = 0; s < p; ++s) {
     // Interact local sinks with the current travelling block. On the first
-    // stage the block is our own: skip the self pair by index.
+    // stage the block is our own: skip the self pair by slot (slot == index
+    // because the block is gathered in order).
     const bool self_stage = (s == 0);
+    batch.clear();
+    batch.reserve_bodies(travel.size());
+    for (const Source& src : travel) batch.add_body(src.pos, src.mass);
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < travel.size(); ++j) {
-        if (self_stage && i == j) continue;
-        pp_accumulate(pos[i], travel[j].pos, travel[j].mass, eps2, a[i], phi[i]);
-      }
+      batch_pp(batch, pos[i], eps2, self_stage ? i : kNoSelf, a[i], phi[i]);
       tally.body_body += travel.size() - (self_stage ? 1 : 0);
     }
     if (s + 1 < p) {

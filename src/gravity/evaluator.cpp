@@ -2,10 +2,29 @@
 
 #include <cassert>
 
-#include "gravity/kernels.hpp"
+#include "gravity/batch.hpp"
 #include "telemetry/trace.hpp"
 
 namespace hotlib::gravity {
+
+namespace {
+
+// Gather one sink group's interaction lists into SoA lanes: bodies in list
+// order, then the accepted cells' monopoles (and quadrupoles when the MAC
+// uses them).
+void gather_lists(const hot::Tree& tree, const hot::InteractionLists& lists,
+                  std::span<const Vec3d> pos, std::span<const double> mass,
+                  bool quadrupole, InteractionBatch& batch) {
+  batch.clear();
+  batch.use_quad = quadrupole;
+  batch.reserve_bodies(lists.bodies.size());
+  for (std::uint32_t j : lists.bodies) batch.add_body(pos[j], mass[j]);
+  const auto& cells = tree.cells();
+  for (std::uint32_t ci : lists.cells)
+    batch.add_cell(cells[ci].com, cells[ci].mass, cells[ci].quad);
+}
+
+}  // namespace
 
 InteractionTally tree_forces(const hot::Tree& tree, std::span<const Vec3d> pos,
                              std::span<const double> mass, const TreeForceConfig& cfg,
@@ -17,21 +36,21 @@ InteractionTally tree_forces(const hot::Tree& tree, std::span<const Vec3d> pos,
   const double eps2 = cfg.softening * cfg.softening;
   const auto& cells = tree.cells();
   hot::InteractionLists lists;
+  InteractionBatch batch;
 
   for (std::uint32_t li : hot::leaf_indices(tree)) {
     hot::build_interaction_lists(tree, li, cfg.mac, lists, tally);
+    gather_lists(tree, lists, pos, mass, cfg.mac.quadrupole, batch);
     const hot::Cell& group = cells[li];
     for (std::uint32_t t = group.body_begin; t < group.body_begin + group.body_count;
          ++t) {
       const std::uint32_t i = tree.order()[t];
       Vec3d a{};
       double p = 0;
-      for (std::uint32_t j : lists.bodies) {
-        if (j == i) continue;
-        pp_accumulate(pos[i], pos[j], mass[j], eps2, a, p);
-      }
-      for (std::uint32_t ci : lists.cells)
-        pc_accumulate(pos[i], cells[ci], cfg.mac.quadrupole, eps2, a, p);
+      // The group's own members occupy contiguous slots in tree order.
+      const std::size_t self = lists.self_begin + (t - group.body_begin);
+      batch_pp(batch, pos[i], eps2, self, a, p);
+      batch_pc(batch, pos[i], eps2, a, p);
 
       acc[i] += cfg.G * a;
       pot[i] += cfg.G * p;
@@ -53,13 +72,16 @@ InteractionTally apply_let_import(const hot::LetImport& import,
   telemetry::Span span("apply_let_import", telemetry::Phase::kForceEval, pos.size());
   InteractionTally tally;
   const double eps2 = cfg.softening * cfg.softening;
+  InteractionBatch batch;
+  batch.use_quad = cfg.mac.quadrupole;
+  batch.reserve_bodies(import.bodies.size());
+  for (const hot::SourceRecord& s : import.bodies) batch.add_body(s.pos, s.mass);
+  for (const hot::CellRecord& c : import.cells) batch.add_cell(c.com, c.mass, c.quad);
   for (std::size_t i = 0; i < pos.size(); ++i) {
     Vec3d a{};
     double p = 0;
-    for (const hot::SourceRecord& s : import.bodies)
-      pp_accumulate(pos[i], s.pos, s.mass, eps2, a, p);
-    for (const hot::CellRecord& c : import.cells)
-      pc_accumulate(pos[i], c.com, c.mass, c.quad, cfg.mac.quadrupole, eps2, a, p);
+    batch_pp(batch, pos[i], eps2, kNoSelf, a, p);
+    batch_pc(batch, pos[i], eps2, a, p);
     acc[i] += cfg.G * a;
     pot[i] += cfg.G * p;
     if (!work.empty())

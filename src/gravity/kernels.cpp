@@ -1,8 +1,21 @@
 #include "gravity/kernels.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace hotlib::gravity {
+
+namespace detail {
+
+double rsqrt_special(double x) {
+  if (std::isnan(x)) return x;
+  // 1/sqrt(±0) = 1/(±0) = ±inf, matching 1.0 / std::sqrt(x).
+  if (x == 0.0) return 1.0 / x;
+  if (x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return 0.0;  // +inf
+}
+
+}  // namespace detail
 
 KarpRsqrtTable::KarpRsqrtTable() {
   // For every (exponent parity, leading 7 mantissa bits) class, store the

@@ -24,10 +24,33 @@
 
 namespace hotlib::gravity {
 
+namespace detail {
+
+// Bit patterns of the positive normal range [DBL_MIN, DBL_MAX]. Everything
+// outside it — zeros, denormals, infinities, NaNs, negatives — takes the
+// cold edge path so the Newton iterations below only ever see inputs they
+// converge on.
+inline constexpr std::uint64_t kMinNormalBits = 0x0010000000000000ULL;
+inline constexpr std::uint64_t kNormalSpanBits = 0x7FE0000000000000ULL;
+
+// IEEE-correct 1/sqrt(x) for ±0, +inf, NaN and negative x (cold, never
+// called for positive normals or denormals).
+double rsqrt_special(double x);
+
+}  // namespace detail
+
 // Fast reciprocal square root: bit-level seed + 4 Newton iterations.
-// Relative error < 3e-16 over the full double range (tested).
+// Relative error < 3e-16 over the positive normal range (tested); zeros,
+// denormals, infinities and negatives agree with 1.0 / std::sqrt(x).
 inline double karp_rsqrt(double x) {
   const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  if (bits - detail::kMinNormalBits >= detail::kNormalSpanBits) [[unlikely]] {
+    // Positive denormal: renormalise by an even power of two (exact), seed
+    // and iterate in the normal range, undo with the exact half power.
+    if (bits != 0 && bits < detail::kMinNormalBits)
+      return karp_rsqrt(x * 0x1p128) * 0x1p64;
+    return detail::rsqrt_special(x);
+  }
   double y = std::bit_cast<double>(0x5FE6EB50C7B537A9ULL - (bits >> 1));
   const double xh = 0.5 * x;
   y = y * (1.5 - xh * y * y);
@@ -46,6 +69,14 @@ class KarpRsqrtTable {
   KarpRsqrtTable();
   double operator()(double x) const {
     const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+    if (bits - detail::kMinNormalBits >= detail::kNormalSpanBits) [[unlikely]] {
+      // Denormals have a zero exponent field, which would make both the
+      // table index and the halved-exponent scale meaningless: renormalise
+      // exactly and recurse, like karp_rsqrt.
+      if (bits != 0 && bits < detail::kMinNormalBits)
+        return (*this)(x * 0x1p128) * 0x1p64;
+      return detail::rsqrt_special(x);
+    }
     // Decompose x = f * 2^e with f in [1,2); fold the exponent's parity into
     // the table class x' = f * 2^(e&1) in [1,4), so 1/sqrt(x) =
     // table(x') * 2^(-(e - (e&1))/2) with an exactly-even halved exponent.

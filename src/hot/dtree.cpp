@@ -278,6 +278,7 @@ Key DistributedTree::advance(Walk& w, const Mac& mac, Stats& stats) {
       const Cell& c = cells[ci];
       if (c.body_count == 0) continue;
       if (ci == w.leaf_index) {
+        w.local.self_begin = w.local.bodies.size();
         for (std::uint32_t t = c.body_begin; t < c.body_begin + c.body_count; ++t)
           w.local.bodies.push_back(tree_.order()[t]);
         continue;

@@ -20,6 +20,7 @@ void build_interaction_lists(const Tree& tree, std::uint32_t leaf_index, const M
 
     if (ci == leaf_index) {
       // The group interacts with itself directly.
+      lists.self_begin = lists.bodies.size();
       for (std::uint32_t i = c.body_begin; i < c.body_begin + c.body_count; ++i)
         lists.bodies.push_back(tree.order()[i]);
       continue;

@@ -24,6 +24,11 @@ struct InteractionLists {
   // Original body indices interacting directly (includes the group's own
   // members; evaluators skip the self term by index equality).
   std::vector<std::uint32_t> bodies;
+  // Offset in `bodies` where the group's own members start. They are pushed
+  // contiguously in tree order, so the sink at tree.order()[t] sits at slot
+  // self_begin + (t - group.body_begin) — batched evaluators use this to
+  // skip the self term in O(1).
+  std::size_t self_begin = 0;
 };
 
 // Build interaction lists for the sink group `leaf_index` (must be a leaf

@@ -3,14 +3,10 @@
 #include <cmath>
 #include <numbers>
 
-#include "gravity/kernels.hpp"
+#include "gravity/batch.hpp"
 #include "hot/traverse.hpp"
 
 namespace hotlib::vortex {
-
-namespace {
-constexpr double kQuarterInvPi = 1.0 / (4.0 * std::numbers::pi);
-}
 
 Vec3d VortexParticles::total_strength() const {
   Vec3d s{};
@@ -32,30 +28,20 @@ double VortexParticles::max_strength() const {
 
 void vortex_kernel(const Vec3d& xi, const Vec3d& xj, const Vec3d& alpha_j,
                    double sigma2, Vec3d& u, const Vec3d* alpha_i, Vec3d* dalpha) {
-  const Vec3d d = xi - xj;
-  const double r2 = norm2(d) + sigma2;
-  const double rinv = gravity::karp_rsqrt(r2);
-  const double s = rinv * rinv * rinv;   // (r^2+sigma^2)^{-3/2}
-  const double t = s * rinv * rinv;      // (r^2+sigma^2)^{-5/2}
-  const Vec3d dxa = cross(d, alpha_j);
-  u += (-kQuarterInvPi * s) * dxa;
-  if (alpha_i != nullptr && dalpha != nullptr) {
-    // (alpha_i . grad) u, classical stretching with the analytic gradient:
-    //   -1/(4pi) [ s (alpha_i x alpha_j) - 3 t (d.alpha_i) (d x alpha_j) ].
-    *dalpha += (-kQuarterInvPi) *
-               (s * cross(*alpha_i, alpha_j) - (3.0 * t * dot(d, *alpha_i)) * dxa);
-  }
+  gravity::biot_savart_accumulate(xi, xj, alpha_j, sigma2, u, alpha_i, dalpha);
 }
 
 InteractionTally direct_velocities(VortexParticles& p) {
   InteractionTally tally;
   const double sigma2 = p.sigma * p.sigma;
   const std::size_t n = p.size();
+  gravity::BiotSavartBatch batch;
+  batch.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) batch.add(p.pos[j], p.alpha[j]);
   for (std::size_t i = 0; i < n; ++i) {
     Vec3d u{}, da{};
-    for (std::size_t j = 0; j < n; ++j)
-      vortex_kernel(p.pos[i], p.pos[j], p.alpha[j], sigma2, u, &p.alpha[i], &da);
     // Self term vanishes identically (d = 0, alpha_i x alpha_i = 0).
+    gravity::batch_biot_savart(batch, p.pos[i], p.alpha[i], sigma2, u, da);
     p.vel[i] = u;
     p.dalpha[i] = da;
     tally.body_body += n;
@@ -92,19 +78,24 @@ InteractionTally tree_velocities(VortexParticles& p, const hot::Mac& mac,
     cell_alpha[ci] = a;
   });
 
+  // Bodies and accepted cells share the Biot-Savart kernel, so one batch
+  // carries both: particle sources first (list order), then cell centroids
+  // with their summed vector strengths.
   hot::InteractionLists lists;
+  gravity::BiotSavartBatch batch;
   for (std::uint32_t li : hot::leaf_indices(tree)) {
     hot::build_interaction_lists(tree, li, mac, lists, tally);
+    batch.clear();
+    batch.reserve(lists.bodies.size() + lists.cells.size());
+    for (std::uint32_t j : lists.bodies) batch.add(p.pos[j], p.alpha[j]);
+    for (std::uint32_t ci : lists.cells)
+      batch.add(tree.cells()[ci].com, cell_alpha[ci]);
     const hot::Cell& group = tree.cells()[li];
     for (std::uint32_t t = group.body_begin; t < group.body_begin + group.body_count;
          ++t) {
       const std::uint32_t i = tree.order()[t];
       Vec3d u{}, da{};
-      for (std::uint32_t j : lists.bodies)
-        vortex_kernel(p.pos[i], p.pos[j], p.alpha[j], sigma2, u, &p.alpha[i], &da);
-      for (std::uint32_t ci : lists.cells)
-        vortex_kernel(p.pos[i], tree.cells()[ci].com, cell_alpha[ci], sigma2, u,
-                      &p.alpha[i], &da);
+      gravity::batch_biot_savart(batch, p.pos[i], p.alpha[i], sigma2, u, da);
       p.vel[i] = u;
       p.dalpha[i] = da;
       tally.body_body += lists.bodies.size();

@@ -171,5 +171,60 @@ TEST(Analyze, LoadReportRejectsJunkAndWrongSchema) {
   fs::remove_all(dir);
 }
 
+TEST(Analyze, StampInsertsReplacesAndValidates) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "hotlib_stamp_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "r.json").string();
+  std::ofstream(path)
+      << "{\"schema\":\"hotlib-run-report-v1\",\"name\":\"t\",\"nranks\":1,"
+         "\"counters\":{\"body_body\":3},\"metrics\":{},\"phases\":[],"
+         "\"timeseries\":[]}";
+  Report out;
+  std::string err;
+
+  // Insert: document stays loadable, stamp is ignored by the loader.
+  ASSERT_TRUE(stamp_report(path, "kernel_path", "avx2", err)) << err;
+  ASSERT_TRUE(load_report(path, out, err)) << err;
+  EXPECT_EQ(out.name, "t");
+  EXPECT_DOUBLE_EQ(out.counter("body_body"), 3.0);
+  {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"kernel_path\": \"avx2\""), std::string::npos);
+  }
+
+  // Re-stamp replaces instead of duplicating (the strict parser would
+  // reject a duplicate key).
+  ASSERT_TRUE(stamp_report(path, "kernel_path", "scalar", err)) << err;
+  ASSERT_TRUE(load_report(path, out, err)) << err;
+  {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"kernel_path\": \"scalar\""), std::string::npos);
+    EXPECT_EQ(text.find("avx2"), std::string::npos);
+  }
+
+  // A second, different stamp coexists with the first.
+  ASSERT_TRUE(stamp_report(path, "toolchain", "gcc", err)) << err;
+  ASSERT_TRUE(load_report(path, out, err)) << err;
+
+  // Stamping a key the document already owns elsewhere fails validation
+  // (duplicate key) and leaves the file untouched.
+  EXPECT_FALSE(stamp_report(path, "name", "x", err));
+  EXPECT_NE(err.find("invalid"), std::string::npos);
+  ASSERT_TRUE(load_report(path, out, err)) << err;
+  EXPECT_EQ(out.name, "t");
+
+  // Quotes/backslashes and junk files are rejected.
+  EXPECT_FALSE(stamp_report(path, "bad\"key", "v", err));
+  EXPECT_FALSE(stamp_report(path, "k", "bad\\value", err));
+  std::ofstream(dir / "junk.json") << "no object here";
+  EXPECT_FALSE(stamp_report((dir / "junk.json").string(), "k", "v", err));
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace hotlib::tools

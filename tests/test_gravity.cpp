@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "gravity/direct.hpp"
 #include "gravity/evaluator.hpp"
@@ -37,6 +38,72 @@ TEST(KarpRsqrt, TableSeededVariantMatches) {
     const double ref = 1.0 / std::sqrt(x);
     ASSERT_NEAR(table(x) / ref, 1.0, 1e-15) << "x=" << x;
   }
+}
+
+TEST(KarpRsqrt, EdgeCasesMatchIeee) {
+  // Zeros, infinities, NaN and negatives must match 1.0 / std::sqrt(x)
+  // exactly — the seed bit-hack used to turn them into large finite garbage.
+  const KarpRsqrtTable table;
+  EXPECT_EQ(karp_rsqrt(0.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(table(0.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(karp_rsqrt(-0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(table(-0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(karp_rsqrt(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_EQ(table(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_TRUE(std::isnan(karp_rsqrt(-1.0)));
+  EXPECT_TRUE(std::isnan(table(-1.0)));
+  EXPECT_TRUE(std::isnan(karp_rsqrt(-std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(table(-std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(karp_rsqrt(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(table(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(karp_rsqrt(-std::numeric_limits<double>::denorm_min())));
+  EXPECT_TRUE(std::isnan(table(-std::numeric_limits<double>::denorm_min())));
+}
+
+TEST(KarpRsqrt, DenormalsFullPrecision) {
+  // Denormal inputs have a zero exponent field; both variants renormalise by
+  // an exact power of two and must keep full precision down to denorm_min.
+  const KarpRsqrtTable table;
+  for (double x : {std::numeric_limits<double>::denorm_min(),
+                   0.5 * std::numeric_limits<double>::min(),
+                   0x1.fffffffffffffp-1023, 0x1p-1074, 0x1.8p-1060}) {
+    const double ref = 1.0 / std::sqrt(x);
+    ASSERT_NEAR(karp_rsqrt(x) / ref, 1.0, 1e-15) << "x=" << x;
+    ASSERT_NEAR(table(x) / ref, 1.0, 1e-15) << "x=" << x;
+  }
+}
+
+TEST(KarpRsqrt, FullRangeSweepBothVariants) {
+  // Every binade from denorm_min to DBL_MAX, several mantissas per binade,
+  // both variants against 1.0 / std::sqrt(x).
+  const KarpRsqrtTable table;
+  for (int e = -1074; e <= 1023; ++e) {
+    for (double frac : {1.0, 1.171875, 1.5, 1.984375}) {
+      const double x = std::ldexp(frac, e);
+      if (x == 0.0 || std::isinf(x)) continue;
+      const double ref = 1.0 / std::sqrt(x);
+      ASSERT_NEAR(karp_rsqrt(x) / ref, 1.0, 1e-15) << "e=" << e << " frac=" << frac;
+      ASSERT_NEAR(table(x) / ref, 1.0, 1e-15) << "e=" << e << " frac=" << frac;
+    }
+  }
+}
+
+TEST(Kernels, CoincidentUnsoftenedParticlesDiverge) {
+  // Two particles at the same point with eps = 0: the 1/r potential must
+  // diverge (infinite, not large-finite-garbage as the unguarded seed gave).
+  const Vec3d x{0.25, -1.5, 3.0};
+  Vec3d a{};
+  double p = 0;
+  pp_accumulate(x, x, 2.0, /*eps2=*/0.0, a, p);
+  EXPECT_TRUE(std::isinf(p));
+  EXPECT_LT(p, 0.0);
+  // With softening the same pair is regular and finite.
+  Vec3d a2{};
+  double p2 = 0;
+  pp_accumulate(x, x, 2.0, /*eps2=*/0.01, a2, p2);
+  EXPECT_TRUE(std::isfinite(p2));
+  EXPECT_NEAR(p2, -2.0 / 0.1, 1e-12);
+  EXPECT_EQ(a2, Vec3d{});
 }
 
 TEST(Kernels, PairPotentialAndForceConsistent) {

@@ -170,6 +170,56 @@ bool load_report(const std::string& path, Report& out, std::string& err) {
   return true;
 }
 
+bool stamp_report(const std::string& path, const std::string& key,
+                  const std::string& value, std::string& err) {
+  if (key.empty() || key.find_first_of("\"\\") != std::string::npos ||
+      value.find_first_of("\"\\") != std::string::npos) {
+    err = "stamp: key and value must be non-empty and free of quotes/backslashes";
+    return false;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    err = path + ": cannot open";
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::size_t brace = text.find('{');
+  if (brace == std::string::npos) {
+    err = path + ": no JSON object";
+    return false;
+  }
+  // A previous stamp of the same key sits immediately after the opening
+  // brace; drop it (through its trailing comma) before re-inserting.
+  const std::string quoted = "\"" + key + "\"";
+  const std::size_t p = text.find_first_not_of(" \t\r\n", brace + 1);
+  if (p != std::string::npos && text.compare(p, quoted.size(), quoted) == 0) {
+    const std::size_t comma = text.find(',', p);
+    if (comma == std::string::npos) {
+      err = path + ": malformed existing stamp for " + key;
+      return false;
+    }
+    text.erase(brace + 1, comma - brace);
+  }
+  text.insert(brace + 1, "\"" + key + "\": \"" + value + "\", ");
+  // Strict-validate before touching the file; the parser also rejects
+  // duplicate keys, so stamping a key the document already owns elsewhere
+  // fails here instead of corrupting the report.
+  const telemetry::JsonParseResult parsed = telemetry::json_parse(text);
+  if (!parsed.ok) {
+    err = path + ": stamped document invalid: " + parsed.error;
+    return false;
+  }
+  std::ofstream outf(path, std::ios::trunc);
+  if (!outf) {
+    err = path + ": cannot write";
+    return false;
+  }
+  outf << text;
+  return true;
+}
+
 double percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());

@@ -65,6 +65,15 @@ struct Report {
 // Strict-parse `path`; on failure returns false and fills `err`.
 bool load_report(const std::string& path, Report& out, std::string& err);
 
+// Splice a top-level string entry `"key": "value"` into the report at
+// `path`, replacing a previous stamp of the same key. The stamped document
+// is strict-parsed before the file is rewritten, so a bad key/value can
+// never corrupt a baseline. Stamps live outside counters/metrics and are
+// ignored by check_report — provenance annotations (e.g. the active kernel
+// path), not gated quantities.
+bool stamp_report(const std::string& path, const std::string& key,
+                  const std::string& value, std::string& err);
+
 std::string render_report(const Report& r);
 std::string render_diff(const Report& a, const Report& b);
 

@@ -36,7 +36,8 @@ int usage() {
                "usage: hotlib-analyze report FILE...\n"
                "       hotlib-analyze diff A B\n"
                "       hotlib-analyze check REPORT BASELINE [--tol=KEY=REL ...]\n"
-               "       hotlib-analyze gate EXE NAME BASELINE [--report-dir=DIR ...]\n");
+               "       hotlib-analyze gate EXE NAME BASELINE [--report-dir=DIR ...]\n"
+               "       hotlib-analyze stamp FILE KEY=VALUE\n");
   return 2;
 }
 
@@ -161,6 +162,22 @@ int main(int argc, char** argv) {
   if (mode == "check") {
     if (pos.size() != 2) return usage();
     return run_check(pos[0], pos[1], policy);
+  }
+
+  if (mode == "stamp") {
+    if (pos.size() != 2) return usage();
+    const auto eq = pos[1].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "hotlib-analyze: stamp wants KEY=VALUE, got %s\n",
+                   pos[1].c_str());
+      return 2;
+    }
+    std::string err;
+    if (!stamp_report(pos[0], pos[1].substr(0, eq), pos[1].substr(eq + 1), err)) {
+      std::fprintf(stderr, "hotlib-analyze: %s\n", err.c_str());
+      return 1;
+    }
+    return 0;
   }
 
   if (mode == "gate") {

@@ -34,8 +34,21 @@ for name in $names; do
   HOTLIB_BENCH_TINY=1 HOTLIB_REPORT_DIR="$tmp" "$exe" > /dev/null
 done
 
+# Stamp the kernel path the benches ran with (scalar or avx2, after any
+# HOTLIB_SIMD override) into each report, so a baseline records which
+# dispatch produced it. The stamp is provenance only — check ignores it.
+analyze="$build/tools/hotlib-analyze"
+if [ ! -x "$analyze" ]; then
+  echo "update_baselines: missing $analyze" >&2
+  exit 2
+fi
+kpath=$("$build/bench/bench_kernels" --print-kernel-path)
+for name in $names; do
+  "$analyze" stamp "$tmp/BENCH_$name.json" "kernel_path=$kpath"
+done
+
 mkdir -p "$dest"
 for name in $names; do
   cp "$tmp/BENCH_$name.json" "$dest/BENCH_$name.json"
 done
-echo "update_baselines: wrote $(echo "$names" | wc -w) baselines to $dest"
+echo "update_baselines: wrote $(echo "$names" | wc -w) baselines to $dest (kernel_path=$kpath)"
