@@ -10,6 +10,10 @@
 // numbers differ; the shape to check is the flat (embarrassingly parallel)
 // scaling of the ring algorithm and the model row matching the paper.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "gravity/direct.hpp"
 #include "gravity/models.hpp"
@@ -18,11 +22,33 @@
 #include "telemetry/report.hpp"
 #include "telemetry/sample.hpp"
 #include "util/table.hpp"
+#include "util/task_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace hotlib;
 
-int main() {
+namespace {
+
+// --threads=1,2,4 -> {1,2,4}; empty when the flag is absent.
+std::vector<int> parse_threads_flag(int argc, char** argv) {
+  std::vector<int> out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) continue;
+    const std::string list = argv[i] + 10;
+    for (std::size_t pos = 0; pos < list.size();) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string tok = list.substr(pos, comma - pos);
+      const int t = std::atoi(tok.c_str());
+      if (t >= 1) out.push_back(t);
+      pos = comma == std::string::npos ? list.size() : comma + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   telemetry::Session session("nsquared");
   std::printf("=== E1: O(N^2) benchmark (paper: 635 Gflops, 1M bodies, 6800 procs) ===\n\n");
 
@@ -79,6 +105,32 @@ int main() {
   std::printf("Machine-model projections (calibrated per DESIGN.md):\n%s\n",
               model.to_string().c_str());
   telemetry::sample_now();
+
+  // (c) Optional shared-memory thread sweep (--threads=1,2,4): the single-
+  // rank O(N^2) solver over the task pool's sink-parallel loop. Print-only;
+  // the perf-gate metrics above are independent of this sweep. Accelerations
+  // and tallies are bit-identical at every thread count.
+  if (const std::vector<int> sweep_t = parse_threads_flag(argc, argv); !sweep_t.empty()) {
+    TextTable tt({"threads", "interactions", "seconds", "Mflops (host)", "speedup"});
+    double base_s = 0;
+    for (int t : sweep_t) {
+      util::TaskPool::set_global_concurrency(t);
+      WallTimer wt;
+      std::vector<Vec3d> acc(n);
+      std::vector<double> pot(n);
+      const auto tally = gravity::direct_forces(all.pos, all.mass, 0.02, 1.0, acc, pot);
+      const double secs = wt.seconds();
+      if (base_s == 0) base_s = secs;
+      const double flops = tally.flops();
+      tt.add_row({TextTable::integer(t),
+                  TextTable::integer(static_cast<long long>(tally.interactions())),
+                  TextTable::num(secs, 3), TextTable::num(flops / secs / 1e6, 1),
+                  TextTable::num(base_s / secs, 2) + "x"});
+    }
+    util::TaskPool::set_global_concurrency(0);  // back to HOTLIB_THREADS default
+    std::printf("Thread sweep (same bits at every pool size; %zu bodies):\n%s\n",
+                n, tt.to_string().c_str());
+  }
   std::printf(
       "Shape check: ring O(N^2) scales near-perfectly with ranks (compute >> comm),\n"
       "and the Red projection reproduces the paper's 635 Gflops / 239.3 s row.\n");

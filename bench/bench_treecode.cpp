@@ -14,6 +14,10 @@
 // 431 -> 170 Gflops drop to — plus the N log N vs N^2 crossover, then prints
 // the calibrated model rows next to the paper values.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "gravity/direct.hpp"
 #include "gravity/evaluator.hpp"
@@ -23,11 +27,29 @@
 #include "telemetry/report.hpp"
 #include "telemetry/sample.hpp"
 #include "util/table.hpp"
+#include "util/task_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace hotlib;
 
 namespace {
+
+// --threads=1,2,4 -> {1,2,4}; empty when the flag is absent.
+std::vector<int> parse_threads_flag(int argc, char** argv) {
+  std::vector<int> out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) continue;
+    const std::string list = argv[i] + 10;
+    for (std::size_t pos = 0; pos < list.size();) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string tok = list.substr(pos, comma - pos);
+      const int t = std::atoi(tok.c_str());
+      if (t >= 1) out.push_back(t);
+      pos = comma == std::string::npos ? list.size() : comma + 1;
+    }
+  }
+  return out;
+}
 
 struct Run {
   std::uint64_t interactions = 0;
@@ -52,7 +74,7 @@ Run tree_run(const hot::Bodies& b, double theta) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   telemetry::Session session("treecode");
   std::printf("=== E2/E3/E4: treecode at scale (paper: 431 & 170 Gflops; 1e5 x N^2) ===\n\n");
 
@@ -122,6 +144,30 @@ int main() {
                  "3M vs 52 => ~1e5 x"});
   std::printf("Machine-model projections:\n%s\n", model.to_string().c_str());
   telemetry::sample_now();
+
+  // (d) Optional shared-memory thread sweep (--threads=1,2,4): build + force
+  // evaluation of the clustered workload at each pool size. Print-only — the
+  // perf-gate metrics above always run at the pool the environment selected,
+  // so baselines are independent of this sweep. Forces and tallies are
+  // bit-identical at every thread count (see tests/test_parallel.cpp); only
+  // the wall clock moves.
+  if (const std::vector<int> sweep_t = parse_threads_flag(argc, argv); !sweep_t.empty()) {
+    TextTable tt({"threads", "tree ints", "seconds", "Mflops (host)", "speedup"});
+    double base_s = 0;
+    for (int t : sweep_t) {
+      util::TaskPool::set_global_concurrency(t);
+      const Run r = tree_run(clustered, 0.35);
+      if (base_s == 0) base_s = r.seconds;
+      tt.add_row({TextTable::integer(t),
+                  TextTable::integer(static_cast<long long>(r.interactions)),
+                  TextTable::num(r.seconds, 3),
+                  TextTable::num(38.0 * r.interactions / r.seconds / 1e6, 0),
+                  TextTable::num(base_s / r.seconds, 2) + "x"});
+    }
+    util::TaskPool::set_global_concurrency(0);  // back to HOTLIB_THREADS default
+    std::printf("Thread sweep (same bits at every pool size; %zu bodies):\n%s\n",
+                n, tt.to_string().c_str());
+  }
   session.metric("interactions_per_particle_clustered", c.per_particle);
   session.metric("gflops_model_first5", early.gflops());
   session.metric("gflops_model_sustained", sustained.gflops());

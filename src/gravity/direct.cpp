@@ -1,9 +1,21 @@
 #include "gravity/direct.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "gravity/batch.hpp"
 #include "telemetry/trace.hpp"
+#include "util/task_pool.hpp"
+
+namespace {
+
+// Sink-chunk size for the shared-source loops below: big enough to amortize
+// task overhead over the O(chunk * n) kernel work, small enough to balance.
+std::size_t sink_grain(std::size_t n, int lanes) {
+  return std::max<std::size_t>(64, n / (static_cast<std::size_t>(lanes) * 8));
+}
+
+}  // namespace
 
 namespace hotlib::gravity {
 
@@ -20,14 +32,19 @@ InteractionTally direct_forces(std::span<const Vec3d> pos, std::span<const doubl
   InteractionBatch batch;
   batch.reserve_bodies(n);
   for (std::size_t j = 0; j < n; ++j) batch.add_body(pos[j], mass[j]);
-  for (std::size_t i = 0; i < n; ++i) {
-    Vec3d a{};
-    double p = 0;
-    batch_pp(batch, pos[i], eps2, i, a, p);
-    acc[i] = G * a;
-    pot[i] = G * p;
-    tally.body_body += n - 1;
-  }
+  util::TaskPool& pool = util::TaskPool::global();
+  pool.parallel_for(n, sink_grain(n, pool.concurrency()),
+                    [&](std::size_t lo, std::size_t hi) {
+                      telemetry::ensure_worker(util::TaskPool::current_worker());
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        Vec3d a{};
+                        double p = 0;
+                        batch_pp(batch, pos[i], eps2, i, a, p);
+                        acc[i] = G * a;
+                        pot[i] = G * p;
+                      }
+                    });
+  if (n > 0) tally.body_body += n * (n - 1);
   telemetry::count_tally(tally);
   return tally;
 }
@@ -66,10 +83,16 @@ InteractionTally ring_direct_forces(parc::Rank& rank, std::span<const Vec3d> pos
     batch.clear();
     batch.reserve_bodies(travel.size());
     for (const Source& src : travel) batch.add_body(src.pos, src.mass);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch_pp(batch, pos[i], eps2, self_stage ? i : kNoSelf, a[i], phi[i]);
-      tally.body_body += travel.size() - (self_stage ? 1 : 0);
-    }
+    util::TaskPool& pool = util::TaskPool::global();
+    pool.parallel_for(n, sink_grain(n, pool.concurrency()),
+                      [&](std::size_t lo, std::size_t hi) {
+                        telemetry::ensure_worker(util::TaskPool::current_worker());
+                        for (std::size_t i = lo; i < hi; ++i)
+                          batch_pp(batch, pos[i], eps2, self_stage ? i : kNoSelf,
+                                   a[i], phi[i]);
+                      });
+    tally.body_body +=
+        static_cast<std::uint64_t>(n) * (travel.size() - (self_stage ? 1 : 0));
     if (s + 1 < p) {
       // Shift the block around the ring. Tag by stage to keep order.
       const int tag = 100 + s;

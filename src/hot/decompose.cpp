@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "morton/parallel.hpp"
 #include "telemetry/trace.hpp"
 
 namespace hotlib::hot {
@@ -44,11 +45,9 @@ struct Sample {
 std::vector<Key> sort_bodies_by_key(Bodies& b, const morton::Domain& domain) {
   const std::size_t n = b.size();
   std::vector<Key> keys(n);
-  for (std::size_t i = 0; i < n; ++i) keys[i] = morton::key_from_position(b.pos[i], domain);
+  morton::parallel_morton_keys(b.pos, domain, keys);
   std::vector<std::uint32_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0u);
-  std::sort(perm.begin(), perm.end(),
-            [&](std::uint32_t x, std::uint32_t y) { return keys[x] < keys[y]; });
+  morton::parallel_sort_by_key(keys, perm);
 
   Bodies sorted;
   sorted.pos.reserve(n);

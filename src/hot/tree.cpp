@@ -5,8 +5,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "morton/parallel.hpp"
 #include "telemetry/sample.hpp"
 #include "telemetry/trace.hpp"
+#include "util/task_pool.hpp"
 
 namespace hotlib::hot {
 
@@ -59,20 +61,21 @@ void Tree::build(std::span<const Vec3d> pos, std::span<const double> mass,
 
   const std::uint32_t n = static_cast<std::uint32_t>(pos.size());
   order_.resize(n);
-  std::iota(order_.begin(), order_.end(), 0u);
   std::vector<Key> raw_keys(n);
-  for (std::uint32_t i = 0; i < n; ++i)
-    raw_keys[i] = morton::key_from_position(pos[i], domain_);
-  std::sort(order_.begin(), order_.end(),
-            [&](std::uint32_t a, std::uint32_t b) { return raw_keys[a] < raw_keys[b]; });
+  morton::parallel_morton_keys(pos, domain_, raw_keys);
+  // (key, index) total order: the unique sorted permutation, whatever the
+  // thread count (see morton/parallel.hpp).
+  morton::parallel_sort_by_key(raw_keys, order_);
   keys_.resize(n);
   std::vector<Vec3d> sorted_pos(n);
   std::vector<double> sorted_mass(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    keys_[i] = raw_keys[order_[i]];
-    sorted_pos[i] = pos[order_[i]];
-    sorted_mass[i] = mass[order_[i]];
-  }
+  util::TaskPool::global().parallel_for(n, 8192, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      keys_[i] = raw_keys[order_[i]];
+      sorted_pos[i] = pos[order_[i]];
+      sorted_mass[i] = mass[order_[i]];
+    }
+  });
 
   cells_.reserve(n == 0 ? 1 : 2 * (n / std::max(1, cfg.bucket_size)) + 64);
   Cell root;
@@ -80,11 +83,23 @@ void Tree::build(std::span<const Vec3d> pos, std::span<const double> mass,
   root.body_begin = 0;
   root.body_count = n;
   cells_.push_back(root);
-  if (n > 0) build_range(0, 0, n, 0, sorted_pos, sorted_mass, cfg);
+  if (n > 0) {
+    DescBlock blk = build_desc(morton::kRootKey, 0, n, 0, cfg);
+    max_depth_ = blk.max_depth;
+    if (blk.nchildren > 0) {
+      cells_[0].first_child = 1;
+      cells_[0].nchildren = blk.nchildren;
+    }
+    cells_.resize(1 + blk.cells.size());
+    for (std::size_t i = 0; i < blk.cells.size(); ++i) {
+      Cell c = blk.cells[i];
+      if (c.first_child != kNullIndex) c.first_child += 1;  // rebase after root
+      cells_[1 + i] = c;
+    }
+  }
 
   // Bottom-up moments: children are stored after their parent.
-  for (std::size_t i = cells_.size(); i-- > 0;)
-    compute_moments(static_cast<std::uint32_t>(i), sorted_pos, sorted_mass);
+  compute_all_moments(sorted_pos, sorted_mass);
 
   for (std::size_t i = 0; i < cells_.size(); ++i)
     hash_.insert(cells_[i].key, static_cast<std::uint32_t>(i));
@@ -98,33 +113,47 @@ void Tree::build(std::span<const Vec3d> pos, std::span<const double> mass,
   telemetry::gauge_set(telemetry::Gauge::kHashMeanProbe, hash_.mean_probe());
 }
 
-// Splits the already-created cell `ci` covering keys_[lo, hi) at `level`.
-std::uint32_t Tree::build_range(std::uint32_t ci, std::uint32_t lo, std::uint32_t hi,
-                                int level, const std::vector<Vec3d>& sorted_pos,
-                                const std::vector<double>& sorted_mass, Config cfg) {
-  const Key key = cells_[ci].key;
-  max_depth_ = std::max(max_depth_, level);
+namespace {
 
-  if (hi - lo <= static_cast<std::uint32_t>(cfg.bucket_size) || level >= morton::kMaxLevel)
-    return ci;  // leaf
-
-  // Partition [lo, hi) into the 8 octant sub-ranges using the 3-bit key
-  // digit at depth level+1. Keys are sorted, so each octant is contiguous.
+// Octant sub-ranges of the sorted keys_[lo, hi) at depth level+1: the 3-bit
+// key digit selects the octant, and sorted keys make each octant contiguous.
+std::array<std::uint32_t, 9> octant_bounds(const std::vector<Key>& keys,
+                                           std::uint32_t lo, std::uint32_t hi,
+                                           int level) {
   const int shift = 3 * (morton::kMaxLevel - (level + 1));
-  auto digit = [&](Key k) { return static_cast<int>((k >> shift) & 7); };
-
+  auto digit = [shift](Key k) { return static_cast<int>((k >> shift) & 7); };
   std::array<std::uint32_t, 9> bound{};
   bound[0] = lo;
   for (int o = 0; o < 8; ++o) {
-    const auto first = keys_.begin() + bound[o];
-    const auto last = keys_.begin() + hi;
+    const auto first = keys.begin() + bound[o];
+    const auto last = keys.begin() + hi;
     bound[o + 1] = static_cast<std::uint32_t>(
-        std::upper_bound(first, last, o, [&](int val, Key k) { return val < digit(k); }) -
-        keys_.begin());
+        std::upper_bound(first, last, o,
+                         [&](int val, Key k) { return val < digit(k); }) -
+        keys.begin());
   }
   assert(bound[8] == hi);
+  return bound;
+}
 
-  const std::uint32_t first_child = static_cast<std::uint32_t>(cells_.size());
+// Bodies below which a subtree is built serially instead of spawning tasks
+// per octant. Coarse enough that task overhead vanishes, fine enough that
+// eight top-level subtrees don't leave lanes idle on clustered inputs.
+constexpr std::uint32_t kBuildGrain = 4096;
+
+}  // namespace
+
+// Appends the descendants of cell (key, [lo, hi), level) to `out` in the
+// depth-first layout and returns the cell's direct-child count.
+std::uint32_t Tree::build_desc_serial(Key key, std::uint32_t lo, std::uint32_t hi,
+                                      int level, Config cfg, std::vector<Cell>& out,
+                                      int& max_depth) const {
+  max_depth = std::max(max_depth, level);
+  if (hi - lo <= static_cast<std::uint32_t>(cfg.bucket_size) || level >= morton::kMaxLevel)
+    return 0;  // leaf
+
+  const std::array<std::uint32_t, 9> bound = octant_bounds(keys_, lo, hi, level);
+  const std::uint32_t first = static_cast<std::uint32_t>(out.size());
   std::uint32_t nchildren = 0;
   for (int o = 0; o < 8; ++o) {
     if (bound[o + 1] == bound[o]) continue;
@@ -132,20 +161,105 @@ std::uint32_t Tree::build_range(std::uint32_t ci, std::uint32_t lo, std::uint32_
     c.key = morton::child(key, o);
     c.body_begin = bound[o];
     c.body_count = bound[o + 1] - bound[o];
-    cells_.push_back(c);
+    out.push_back(c);
     ++nchildren;
   }
-  cells_[ci].first_child = first_child;
-  cells_[ci].nchildren = nchildren;
 
   // Recurse after all siblings exist so they stay contiguous.
-  std::uint32_t j = first_child;
+  std::uint32_t j = first;
   for (int o = 0; o < 8; ++o) {
     if (bound[o + 1] == bound[o]) continue;
-    build_range(j, bound[o], bound[o + 1], level + 1, sorted_pos, sorted_mass, cfg);
+    const std::uint32_t sub_begin = static_cast<std::uint32_t>(out.size());
+    const std::uint32_t sub_n = build_desc_serial(out[j].key, bound[o], bound[o + 1],
+                                                  level + 1, cfg, out, max_depth);
+    out[j].nchildren = sub_n;
+    out[j].first_child = sub_n > 0 ? sub_begin : kNullIndex;
     ++j;
   }
-  return ci;
+  return nchildren;
+}
+
+Tree::DescBlock Tree::build_desc(Key key, std::uint32_t lo, std::uint32_t hi,
+                                 int level, Config cfg) const {
+  DescBlock b;
+  b.max_depth = level;
+  util::TaskPool& pool = util::TaskPool::global();
+  if (pool.concurrency() == 1 || hi - lo <= kBuildGrain || level >= morton::kMaxLevel ||
+      hi - lo <= static_cast<std::uint32_t>(cfg.bucket_size)) {
+    b.nchildren = build_desc_serial(key, lo, hi, level, cfg, b.cells, b.max_depth);
+    return b;
+  }
+
+  // Recursive decompose: one task per nonempty octant builds its subtree as
+  // an independent block; the merge splices the blocks in octant order and
+  // rebases their block-local first_child indices. The splice order is
+  // data-determined, so the final layout equals the serial one exactly.
+  const std::array<std::uint32_t, 9> bound = octant_bounds(keys_, lo, hi, level);
+  struct Octant {
+    std::uint32_t lo, hi;
+  };
+  std::vector<Octant> octs;
+  octs.reserve(8);
+  for (int o = 0; o < 8; ++o) {
+    if (bound[o + 1] == bound[o]) continue;
+    Cell c;
+    c.key = morton::child(key, o);
+    c.body_begin = bound[o];
+    c.body_count = bound[o + 1] - bound[o];
+    b.cells.push_back(c);
+    octs.push_back({bound[o], bound[o + 1]});
+  }
+  b.nchildren = static_cast<std::uint32_t>(octs.size());
+
+  std::vector<DescBlock> sub(octs.size());
+  {
+    util::TaskPool::Group g(pool);
+    for (std::size_t j = 0; j < octs.size(); ++j) {
+      g.spawn([this, &sub, &octs, &b, j, level, cfg] {
+        sub[j] = build_desc(b.cells[j].key, octs[j].lo, octs[j].hi, level + 1, cfg);
+      });
+    }
+    g.wait();
+  }
+
+  for (std::size_t j = 0; j < sub.size(); ++j) {
+    const std::uint32_t off = static_cast<std::uint32_t>(b.cells.size());
+    b.cells[j].nchildren = sub[j].nchildren;
+    b.cells[j].first_child = sub[j].nchildren > 0 ? off : kNullIndex;
+    for (const Cell& c : sub[j].cells) {
+      b.cells.push_back(c);
+      if (b.cells.back().first_child != kNullIndex) b.cells.back().first_child += off;
+    }
+    b.max_depth = std::max(b.max_depth, sub[j].max_depth);
+  }
+  return b;
+}
+
+void Tree::compute_all_moments(const std::vector<Vec3d>& sorted_pos,
+                               const std::vector<double>& sorted_mass) {
+  util::TaskPool& pool = util::TaskPool::global();
+  const std::size_t nc = cells_.size();
+  if (pool.concurrency() == 1 || nc < 4096) {
+    for (std::size_t i = nc; i-- > 0;)
+      compute_moments(static_cast<std::uint32_t>(i), sorted_pos, sorted_mass);
+    return;
+  }
+  // Level-synchronous sweep, deepest first: cells of one depth only read
+  // their children (strictly deeper, already finalized), so each level is a
+  // parallel_for. Per-cell arithmetic is untouched — bitwise identical to
+  // the serial reverse sweep.
+  std::vector<std::vector<std::uint32_t>> by_level(
+      static_cast<std::size_t>(max_depth_) + 1);
+  for (std::size_t i = 0; i < nc; ++i)
+    by_level[static_cast<std::size_t>(morton::level(cells_[i].key))].push_back(
+        static_cast<std::uint32_t>(i));
+  for (std::size_t lv = by_level.size(); lv-- > 0;) {
+    const std::vector<std::uint32_t>& idx = by_level[lv];
+    pool.parallel_for(idx.size(), 256, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t t = lo; t < hi; ++t)
+        compute_moments(idx[t], sorted_pos, sorted_mass);
+    });
+  }
 }
 
 void Tree::compute_moments(std::uint32_t ci, const std::vector<Vec3d>& sorted_pos,

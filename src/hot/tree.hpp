@@ -111,9 +111,30 @@ class Tree {
   int max_depth() const { return max_depth_; }
 
  private:
-  std::uint32_t build_range(std::uint32_t ci, std::uint32_t lo, std::uint32_t hi,
-                            int level, const std::vector<Vec3d>& sorted_pos,
-                            const std::vector<double>& sorted_mass, Config cfg);
+  // One subtree's descendants in the serial depth-first layout (children of
+  // a cell contiguous, then each child's descendants in octant order).
+  // `first_child` indices are block-local; the parent splices sub-blocks
+  // together and rebases them, which is what makes the recursive-decompose
+  // build reproduce the serial cell layout bit-for-bit at any thread count.
+  struct DescBlock {
+    std::vector<Cell> cells;
+    std::uint32_t nchildren = 0;  // direct children of the block's root cell
+    int max_depth = 0;
+  };
+
+  // Descendants of the cell (key, keys_[lo, hi), level): task-recursive
+  // above the grain size, serial below it.
+  DescBlock build_desc(morton::Key key, std::uint32_t lo, std::uint32_t hi,
+                       int level, Config cfg) const;
+  // Serial appender used at the leaves of the task recursion; returns the
+  // cell's direct-child count.
+  std::uint32_t build_desc_serial(morton::Key key, std::uint32_t lo,
+                                  std::uint32_t hi, int level, Config cfg,
+                                  std::vector<Cell>& out, int& max_depth) const;
+  // Bottom-up moments: serial reverse sweep, or level-synchronous parallel
+  // sweep (all cells of one depth are independent) — bitwise identical.
+  void compute_all_moments(const std::vector<Vec3d>& sorted_pos,
+                           const std::vector<double>& sorted_mass);
   void compute_moments(std::uint32_t ci, const std::vector<Vec3d>& sorted_pos,
                        const std::vector<double>& sorted_mass);
 

@@ -163,6 +163,14 @@ enum class Gauge : int {
   // Malloc-counting memory gauge (global operator new/delete, see sample.cpp).
   kMemLiveBytes,
   kMemPeakBytes,
+  // Shared-memory task pool (util::TaskPool::global(), mirrored by
+  // sample_now): worker-thread count and lifetime totals of executed tasks,
+  // cross-lane steals and summed busy time — per-thread utilization is
+  // pool_busy_seconds / (pool_workers * wall).
+  kPoolWorkers,
+  kPoolTasksRun,
+  kPoolSteals,
+  kPoolBusySeconds,
   kCount
 };
 

@@ -40,6 +40,11 @@ RunReport build_run_report(const std::string& name, double wall_seconds) {
 
   for (const RankChannel* ch : Registry::instance().channels()) {
     r.counters += ch->counters();
+    // Task-pool worker channels (rank < 0) contribute to the counter rollup
+    // above but stay out of the per-rank accounting: nranks, the phase-sum
+    // invariant and the health timeseries all describe ranks, and worker
+    // spans are kOther by contract (see docs/parallelism.md).
+    if (ch->rank() < 0) continue;
     RankReport& rr = ranks[ch->rank()];
     rr.rank = ch->rank();
     rr.events += ch->size();
@@ -76,7 +81,7 @@ RunReport build_run_report(const std::string& name, double wall_seconds) {
   // Runtime::run invocations yields one series per channel; same-rank
   // channels stay separate entries (their tick clocks are independent).
   for (const RankChannel* ch : Registry::instance().channels()) {
-    if (ch->samples().empty()) continue;
+    if (ch->rank() < 0 || ch->samples().empty()) continue;
     RankSeries s;
     s.rank = ch->rank();
     s.stride_ticks = ch->sample_stride();
@@ -206,12 +211,37 @@ std::string run_report_json(const RunReport& r) {
 
 std::string chrome_trace_json() {
   // trace_event "JSON Object Format": {"traceEvents": [...]} with 'X'
-  // (complete) and 'i' (instant) events; ts/dur in microseconds. pid 0,
-  // tid = rank puts each rank on its own timeline row.
+  // (complete) and 'i' (instant) events; ts/dur in microseconds. pid 0;
+  // tid = rank puts each rank on its own timeline row, and task-pool worker
+  // channels (rank < 0, tid > 0) get their own rows above the ranks so
+  // per-thread utilization is visible next to the rank timelines.
+  const auto trace_tid = [](int rank, int tid) -> std::int64_t {
+    return rank >= 0 ? static_cast<std::int64_t>(rank)
+                     : 10000 + static_cast<std::int64_t>(tid);
+  };
   JsonWriter w;
   w.begin_object();
   w.key("traceEvents");
   w.begin_array();
+  // Name the worker rows (metadata events; Perfetto shows them as labels).
+  for (const RankChannel* ch : Registry::instance().channels()) {
+    if (ch->rank() >= 0) continue;
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(0);
+    w.key("tid");
+    w.value(trace_tid(ch->rank(), ch->tid()));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value("pool-worker-" + std::to_string(ch->tid() - 1));
+    w.end_object();
+    w.end_object();
+  }
   for (const RankChannel* ch : Registry::instance().channels()) {
     for (const TraceEvent& e : ch->events()) {
       w.begin_object();
@@ -224,7 +254,7 @@ std::string chrome_trace_json() {
       w.key("pid");
       w.value(0);
       w.key("tid");
-      w.value(static_cast<std::int64_t>(e.rank));
+      w.value(trace_tid(e.rank, e.tid));
       w.key("ts");
       w.value(e.wall_begin * 1e6);
       if (e.type == 'X') {
@@ -260,7 +290,7 @@ std::string chrome_trace_json() {
       w.key("pid");
       w.value(0);
       w.key("tid");
-      w.value(static_cast<std::int64_t>(ch->rank()));
+      w.value(trace_tid(ch->rank(), ch->tid()));
       w.key("ts");
       w.value(h.wall * 1e6);
       w.key("args");

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "util/task_pool.hpp"
+
 #if __has_include(<malloc.h>)
 #include <malloc.h>
 #define HOTLIB_HAVE_MALLOC_USABLE_SIZE 1
@@ -73,6 +75,19 @@ void sample_now() {
       static_cast<double>(mem_live_bytes());
   ch->gauges_[static_cast<std::size_t>(static_cast<int>(Gauge::kMemPeakBytes))] =
       static_cast<double>(mem_peak_bytes());
+  // Task-pool utilization, only if a pool exists — peeking must not spawn
+  // worker threads as a side effect of being sampled.
+  if (const util::TaskPool* pool = util::TaskPool::global_if_created()) {
+    const util::TaskPool::Stats ps = pool->stats();
+    ch->gauges_[static_cast<std::size_t>(static_cast<int>(Gauge::kPoolWorkers))] =
+        static_cast<double>(pool->concurrency() - 1);
+    ch->gauges_[static_cast<std::size_t>(static_cast<int>(Gauge::kPoolTasksRun))] =
+        static_cast<double>(ps.tasks_executed);
+    ch->gauges_[static_cast<std::size_t>(static_cast<int>(Gauge::kPoolSteals))] =
+        static_cast<double>(ps.steals);
+    ch->gauges_[static_cast<std::size_t>(static_cast<int>(Gauge::kPoolBusySeconds))] =
+        ps.busy_seconds;
+  }
   HealthSample s;
   s.tick = ch->tick_;
   s.wall = Registry::instance().now();

@@ -3,7 +3,14 @@
 namespace hotlib::telemetry {
 
 namespace {
+// The channel pointer is only valid for the registry generation it was
+// handed out in: Session construction resets the registry and frees every
+// channel, but task-pool worker threads outlive Sessions and would keep a
+// dangling pointer. Tagging the cache with the generation turns that stale
+// pointer into a nullptr (rank threads re-attach via Session/RankScope,
+// workers via ensure_worker).
 thread_local RankChannel* t_channel = nullptr;
+thread_local std::uint64_t t_generation = 0;
 }  // namespace
 
 const char* phase_name(Phase p) {
@@ -65,6 +72,10 @@ const char* gauge_name(Gauge g) {
     case Gauge::kDtreeCacheCells: return "dtree_cache_cells";
     case Gauge::kMemLiveBytes: return "mem_live_bytes";
     case Gauge::kMemPeakBytes: return "mem_peak_bytes";
+    case Gauge::kPoolWorkers: return "pool_workers";
+    case Gauge::kPoolTasksRun: return "pool_tasks_run";
+    case Gauge::kPoolSteals: return "pool_steals";
+    case Gauge::kPoolBusySeconds: return "pool_busy_seconds";
     case Gauge::kCount: break;
   }
   return "?";
@@ -77,15 +88,16 @@ Registry& Registry::instance() {
   return r;
 }
 
-RankChannel* Registry::attach(int rank, const double* vclock) {
+RankChannel* Registry::attach(int rank, const double* vclock, int tid) {
   if (!enabled()) {
     t_channel = nullptr;
     return nullptr;
   }
   std::lock_guard lock(mu_);
   channels_.push_back(
-      std::make_unique<RankChannel>(rank, capacity_, sample_capacity_, vclock));
+      std::make_unique<RankChannel>(rank, capacity_, sample_capacity_, vclock, tid));
   t_channel = channels_.back().get();
+  t_generation = generation_.load(std::memory_order_relaxed);
   return t_channel;
 }
 
@@ -93,6 +105,7 @@ void Registry::detach() { t_channel = nullptr; }
 
 void Registry::reset() {
   std::lock_guard lock(mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   channels_.clear();
   t_channel = nullptr;
 }
@@ -105,18 +118,28 @@ std::vector<const RankChannel*> Registry::channels() const {
   return out;
 }
 
-RankChannel* channel() { return t_channel; }
+RankChannel* channel() {
+  if (t_channel != nullptr && t_generation != Registry::instance().generation())
+    t_channel = nullptr;  // registry was reset since this thread attached
+  return t_channel;
+}
+
+void ensure_worker(int worker_index) {
+  if (worker_index < 0 || !enabled()) return;
+  if (channel() != nullptr) return;  // current-generation channel exists
+  Registry::instance().attach(kWorkerRank, nullptr, worker_index + 1);
+}
 
 #ifndef HOTLIB_TELEMETRY_DISABLED
 
 void count(Counter c, std::uint64_t n) {
-  RankChannel* ch = t_channel;
+  RankChannel* ch = channel();
   if (ch == nullptr) return;
   ch->counters_[c] += n;
 }
 
 void count_tally(const InteractionTally& t) {
-  RankChannel* ch = t_channel;
+  RankChannel* ch = channel();
   if (ch == nullptr) return;
   ch->counters_[Counter::kBodyBody] += t.body_body;
   ch->counters_[Counter::kBodyCell] += t.body_cell;

@@ -51,6 +51,7 @@ struct TraceEvent {
   Phase phase = Phase::kOther;
   char type = 'X';            // Chrome trace_event ph: 'X' complete, 'i' instant
   std::int32_t rank = 0;
+  std::int32_t tid = 0;       // 0 = the rank thread; >0 = task-pool worker id
   std::int32_t depth = 0;     // span nesting depth at begin
   double wall_begin = 0.0;    // seconds since the registry epoch
   double wall_dur = 0.0;      // seconds ('X' only)
@@ -80,13 +81,16 @@ struct HealthSample {
 class RankChannel {
  public:
   RankChannel(int rank, std::size_t capacity, std::size_t sample_capacity,
-              const double* vclock)
-      : rank_(rank), vclock_(vclock), ring_(capacity),
+              const double* vclock, int tid = 0)
+      : rank_(rank), tid_(tid), vclock_(vclock), ring_(capacity),
         sample_capacity_(sample_capacity) {
     samples_.reserve(sample_capacity_);
   }
 
   int rank() const { return rank_; }
+  // Thread id within the rank: 0 for the rank thread itself, a positive
+  // worker id for task-pool worker channels (whose rank is kWorkerRank).
+  int tid() const { return tid_; }
   double vclock() const { return vclock_ != nullptr ? *vclock_ : 0.0; }
 
   void record(const TraceEvent& e) {
@@ -136,6 +140,7 @@ class RankChannel {
   friend void sample_now();
 
   int rank_;
+  int tid_;
   const double* vclock_;  // the owning thread's parc virtual clock, if any
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;
@@ -171,12 +176,22 @@ class Registry {
   // Create a channel for the calling thread. `vclock`, when non-null, must
   // outlive the channel (parc passes the rank's clock; it is read only by
   // the owning thread). No-op returning nullptr while telemetry is disabled,
-  // so idle test/bench runs don't grow the registry.
-  RankChannel* attach(int rank, const double* vclock = nullptr);
+  // so idle test/bench runs don't grow the registry. `tid` distinguishes
+  // task-pool worker channels (see ensure_worker) from rank threads.
+  RankChannel* attach(int rank, const double* vclock = nullptr, int tid = 0);
   void detach();  // calling thread's channel stays in the registry for export
 
   // Drop every channel (start of a fresh Session). Must not race live ranks.
+  // Bumps the registry generation: threads that cached a channel pointer
+  // from a previous generation (task-pool workers outlive Sessions) see
+  // their cache invalidated by channel() instead of dereferencing a freed
+  // channel.
   void reset();
+
+  // Monotonic generation counter, bumped by reset().
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   void set_capacity(std::size_t events_per_rank) { capacity_ = events_per_rank; }
   std::size_t capacity() const { return capacity_; }
@@ -203,9 +218,11 @@ class Registry {
   std::size_t capacity_ = 1 << 14;
   std::size_t sample_capacity_ = 256;
   Clock::time_point epoch_;
+  std::atomic<std::uint64_t> generation_{1};
 };
 
-// The calling thread's channel (nullptr when unattached).
+// The calling thread's channel (nullptr when unattached, or when the
+// registry has been reset since this thread attached).
 RankChannel* channel();
 
 // Attach/detach sugar for the registry singleton.
@@ -213,6 +230,19 @@ inline RankChannel* attach_rank(int rank, const double* vclock = nullptr) {
   return Registry::instance().attach(rank, vclock);
 }
 inline void detach_rank() { Registry::instance().detach(); }
+
+// Rank id carried by task-pool worker channels. Negative so exporters can
+// keep workers out of the per-rank rollup (nranks, phase sums, timeseries)
+// while their trace events still land in the Chrome export on their own
+// timeline rows.
+inline constexpr int kWorkerRank = -1;
+
+// Attach the calling task-pool worker thread (util::TaskPool worker index
+// `worker_index` >= 0) as a worker channel of the current session.
+// Idempotent and generation-aware: re-attaches after a Registry reset,
+// no-ops when already attached or when telemetry is disabled. Rank threads
+// (worker_index < 0) are left untouched.
+void ensure_worker(int worker_index);
 
 // Scoped attach for rank threads and harness main threads.
 class RankScope {
@@ -255,6 +285,7 @@ class Span {
     e.phase = phase_;
     e.type = 'X';
     e.rank = ch_->rank();
+    e.tid = ch_->tid();
     e.depth = depth_;
     e.wall_begin = wall0_;
     e.wall_dur = Registry::instance().now() - wall0_;
@@ -299,6 +330,7 @@ inline void instant(const char* name, Phase phase, std::uint64_t arg = 0) {
   e.phase = phase;
   e.type = 'i';
   e.rank = ch->rank();
+  e.tid = ch->tid();
   e.depth = ch->depth();
   e.wall_begin = Registry::instance().now();
   e.virt_begin = ch->vclock();

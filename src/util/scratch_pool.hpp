@@ -1,0 +1,57 @@
+// scratch_pool.hpp — reusable per-task scratch buffers for pool regions.
+//
+// Parallel regions that need heavy scratch (interaction lists, SoA batches,
+// partial tallies) acquire a buffer per task and release it after, instead
+// of indexing an array by worker id: a caller helping its own Group::wait
+// executes tasks too, and thread-indexed scratch would let two regions on
+// the same thread alias. The free-list bounds allocations at the number of
+// tasks ever in flight simultaneously (≈ lane count), and acquire/release
+// is one uncontended lock each at typical task grain.
+//
+// Determinism note: for_each visits buffers in an order that depends on
+// release timing, so only reduce order-insensitive state through it —
+// integer tallies (associative), not floating-point sums.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hotlib::util {
+
+template <class T>
+class ScratchPool {
+ public:
+  std::unique_ptr<T> acquire() {
+    {
+      std::lock_guard lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> s = std::move(free_.back());
+        free_.pop_back();
+        return s;
+      }
+    }
+    return std::make_unique<T>();
+  }
+
+  void release(std::unique_ptr<T> s) {
+    std::lock_guard lock(mu_);
+    free_.push_back(std::move(s));
+  }
+
+  // Visit every buffer ever handed out. Only valid when the region is
+  // quiescent (after the Group::wait / parallel_for join), when every
+  // buffer is back on the free list.
+  template <class F>
+  void for_each(F&& f) {
+    std::lock_guard lock(mu_);
+    for (auto& s : free_) f(*s);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace hotlib::util

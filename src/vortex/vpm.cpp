@@ -1,10 +1,16 @@
 #include "vortex/vpm.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numbers>
 
 #include "gravity/batch.hpp"
 #include "hot/traverse.hpp"
+#include "telemetry/trace.hpp"
+#include "util/scratch_pool.hpp"
+#include "util/task_pool.hpp"
 
 namespace hotlib::vortex {
 
@@ -38,14 +44,22 @@ InteractionTally direct_velocities(VortexParticles& p) {
   gravity::BiotSavartBatch batch;
   batch.reserve(n);
   for (std::size_t j = 0; j < n; ++j) batch.add(p.pos[j], p.alpha[j]);
-  for (std::size_t i = 0; i < n; ++i) {
-    Vec3d u{}, da{};
-    // Self term vanishes identically (d = 0, alpha_i x alpha_i = 0).
-    gravity::batch_biot_savart(batch, p.pos[i], p.alpha[i], sigma2, u, da);
-    p.vel[i] = u;
-    p.dalpha[i] = da;
-    tally.body_body += n;
-  }
+  // Independent sinks over a shared read-only batch; disjoint vel/dalpha
+  // slices per chunk, so any thread count gives bit-identical output.
+  util::TaskPool& pool = util::TaskPool::global();
+  const std::size_t grain = std::max<std::size_t>(
+      64, n / (static_cast<std::size_t>(pool.concurrency()) * 8));
+  pool.parallel_for(n, grain, [&](std::size_t lo, std::size_t hi) {
+    telemetry::ensure_worker(util::TaskPool::current_worker());
+    for (std::size_t i = lo; i < hi; ++i) {
+      Vec3d u{}, da{};
+      // Self term vanishes identically (d = 0, alpha_i x alpha_i = 0).
+      gravity::batch_biot_savart(batch, p.pos[i], p.alpha[i], sigma2, u, da);
+      p.vel[i] = u;
+      p.dalpha[i] = da;
+    }
+  });
+  tally.body_body += static_cast<std::uint64_t>(n) * n;
   return tally;
 }
 
@@ -80,27 +94,54 @@ InteractionTally tree_velocities(VortexParticles& p, const hot::Mac& mac,
 
   // Bodies and accepted cells share the Biot-Savart kernel, so one batch
   // carries both: particle sources first (list order), then cell centroids
-  // with their summed vector strengths.
-  hot::InteractionLists lists;
-  gravity::BiotSavartBatch batch;
-  for (std::uint32_t li : hot::leaf_indices(tree)) {
-    hot::build_interaction_lists(tree, li, mac, lists, tally);
+  // with their summed vector strengths. Groups are the parallel unit, same
+  // contract as gravity::tree_forces: each group's walk, gather and kernel
+  // order are fixed, each writes only its own members' vel/dalpha.
+  const auto do_group = [&](std::uint32_t li, hot::InteractionLists& lists,
+                            gravity::BiotSavartBatch& batch, InteractionTally& t) {
+    hot::build_interaction_lists(tree, li, mac, lists, t);
     batch.clear();
     batch.reserve(lists.bodies.size() + lists.cells.size());
     for (std::uint32_t j : lists.bodies) batch.add(p.pos[j], p.alpha[j]);
     for (std::uint32_t ci : lists.cells)
       batch.add(tree.cells()[ci].com, cell_alpha[ci]);
     const hot::Cell& group = tree.cells()[li];
-    for (std::uint32_t t = group.body_begin; t < group.body_begin + group.body_count;
-         ++t) {
-      const std::uint32_t i = tree.order()[t];
+    for (std::uint32_t s = group.body_begin; s < group.body_begin + group.body_count;
+         ++s) {
+      const std::uint32_t i = tree.order()[s];
       Vec3d u{}, da{};
       gravity::batch_biot_savart(batch, p.pos[i], p.alpha[i], sigma2, u, da);
       p.vel[i] = u;
       p.dalpha[i] = da;
-      tally.body_body += lists.bodies.size();
-      tally.body_cell += lists.cells.size();
+      t.body_body += lists.bodies.size();
+      t.body_cell += lists.cells.size();
     }
+  };
+
+  const std::vector<std::uint32_t> leaves = hot::leaf_indices(tree);
+  util::TaskPool& pool = util::TaskPool::global();
+  if (pool.concurrency() == 1 || leaves.size() < 2) {
+    hot::InteractionLists lists;
+    gravity::BiotSavartBatch batch;
+    for (std::uint32_t li : leaves) do_group(li, lists, batch, tally);
+  } else {
+    struct Scratch {
+      hot::InteractionLists lists;
+      gravity::BiotSavartBatch batch;
+      InteractionTally tally;
+    };
+    util::ScratchPool<Scratch> scratch;
+    const std::size_t grain = std::max<std::size_t>(
+        1, leaves.size() / (static_cast<std::size_t>(pool.concurrency()) * 8));
+    pool.parallel_for(leaves.size(), grain, [&](std::size_t lo, std::size_t hi) {
+      telemetry::ensure_worker(util::TaskPool::current_worker());
+      telemetry::Span walk("vortex_walk", telemetry::Phase::kOther, hi - lo);
+      std::unique_ptr<Scratch> s = scratch.acquire();
+      for (std::size_t g = lo; g < hi; ++g)
+        do_group(leaves[g], s->lists, s->batch, s->tally);
+      scratch.release(std::move(s));
+    });
+    scratch.for_each([&](Scratch& s) { tally += s.tally; });
   }
   return tally;
 }

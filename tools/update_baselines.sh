@@ -31,7 +31,10 @@ for name in $names; do
     exit 2
   fi
   echo "update_baselines: running bench_$name (tiny)"
-  HOTLIB_BENCH_TINY=1 HOTLIB_REPORT_DIR="$tmp" "$exe" > /dev/null
+  # Baselines are single-threaded by contract: the perf-gate tests pin
+  # HOTLIB_THREADS=1 (bench/CMakeLists.txt) so gate runs match. Counters are
+  # thread-count-invariant anyway; this keeps the wall-clock bound honest.
+  HOTLIB_BENCH_TINY=1 HOTLIB_THREADS=1 HOTLIB_REPORT_DIR="$tmp" "$exe" > /dev/null
 done
 
 # Stamp the kernel path the benches ran with (scalar or avx2, after any
@@ -45,6 +48,7 @@ fi
 kpath=$("$build/bench/bench_kernels" --print-kernel-path)
 for name in $names; do
   "$analyze" stamp "$tmp/BENCH_$name.json" "kernel_path=$kpath"
+  "$analyze" stamp "$tmp/BENCH_$name.json" "threads=1"
 done
 
 mkdir -p "$dest"
